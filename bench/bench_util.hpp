@@ -1,0 +1,92 @@
+#pragma once
+
+// Shared helpers for the experiment drivers (E1-E10). Each driver is a
+// plain binary that prints its table to stdout; see DESIGN.md section 3 for
+// the experiment index and EXPERIMENTS.md for recorded results.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_network.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid::bench {
+
+/// Stretch statistics over a set of routing attempts.
+struct StretchStats {
+  int attempts = 0;
+  int delivered = 0;
+  int fallbacks = 0;
+  std::vector<double> stretches;
+
+  void add(const routing::RouteResult& r, double stretch) {
+    ++attempts;
+    if (!r.delivered) return;
+    ++delivered;
+    fallbacks += r.fallbacks;
+    stretches.push_back(stretch);
+  }
+
+  double deliveryRate() const {
+    return attempts == 0 ? 0.0 : static_cast<double>(delivered) / attempts;
+  }
+  double mean() const {
+    if (stretches.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : stretches) s += v;
+    return s / static_cast<double>(stretches.size());
+  }
+  double percentile(double p) const {
+    if (stretches.empty()) return 0.0;
+    auto sorted = stretches;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(p * (static_cast<double>(sorted.size()) - 1));
+    return sorted[idx];
+  }
+  double maxStretch() const { return percentile(1.0); }
+};
+
+/// Runs `pairs` random s-t routing attempts through `router`.
+inline StretchStats evaluateRouter(core::HybridNetwork& net, routing::Router& router,
+                                   int pairs, unsigned seed) {
+  StretchStats stats;
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(net.ldel().numNodes()) - 1);
+  for (int i = 0; i < pairs; ++i) {
+    const int s = pick(rng);
+    int t = pick(rng);
+    if (t == s) t = (t + 1) % static_cast<int>(net.ldel().numNodes());
+    const auto r = router.route(s, t);
+    stats.add(r, net.stretch(r, s, t));
+  }
+  return stats;
+}
+
+/// A deployment with a few disjoint convex obstacles, scaled so that
+/// roughly `n` nodes survive. The obstacle layout follows the paper's
+/// motivation (city blocks / buildings with convex footprints).
+inline scenario::Scenario convexHolesScenario(std::size_t n, unsigned seed) {
+  scenario::ScenarioParams p = scenario::paramsForNodeCount(n + n / 3, seed);
+  const double side = p.width;
+  p.obstacles.push_back(scenario::regularPolygonObstacle(
+      {0.28 * side, 0.30 * side}, 0.11 * side, 6, 0.3));
+  p.obstacles.push_back(scenario::rectangleObstacle(
+      {0.55 * side, 0.55 * side}, {0.80 * side, 0.72 * side}));
+  p.obstacles.push_back(scenario::regularPolygonObstacle(
+      {0.72 * side, 0.24 * side}, 0.09 * side, 5, 1.1));
+  p.obstacles.push_back(scenario::regularPolygonObstacle(
+      {0.25 * side, 0.72 * side}, 0.10 * side, 8));
+  return scenario::makeScenario(p);
+}
+
+inline void printRule(int width = 110) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace hybrid::bench

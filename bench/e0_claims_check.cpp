@@ -1,0 +1,197 @@
+// E0 — machine-checkable reproduction gate.
+//
+// Re-runs a fast version of every headline claim and asserts its *shape*
+// programmatically; exits non-zero if any claim fails. This is the
+// one-binary answer to "does the reproduction still hold?" (CI runs it).
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "graph/shortest_path.hpp"
+#include "protocols/dominating_set_protocol.hpp"
+#include "protocols/preprocessing.hpp"
+#include "routing/baselines.hpp"
+#include "routing/chew.hpp"
+#include "delaunay/udg.hpp"
+
+using namespace hybrid;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* claim, const char* detail) {
+  std::printf("[%s] %-58s %s\n", ok ? "PASS" : "FAIL", claim, detail);
+  if (!ok) ++failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E0: reproduction gate - paper claims as assertions\n\n");
+  char buf[128];
+
+  // --- Claim 1 (Thm 1.2): hybrid routing is c-competitive with constant c;
+  // greedy is not even reliable.
+  {
+    auto sc = bench::convexHolesScenario(900, 1042);
+    core::HybridNetwork net(sc.points);
+    routing::GreedyRouter greedy(net.ldel());
+    auto& hybrid = net.router();
+    auto gs = bench::evaluateRouter(net, greedy, 150, 5);
+    auto hs = bench::evaluateRouter(net, hybrid, 150, 5);
+    std::snprintf(buf, sizeof buf, "greedy %.0f%%, hybrid %.0f%%, mean stretch %.2f",
+                  100 * gs.deliveryRate(), 100 * hs.deliveryRate(), hs.mean());
+    check(gs.deliveryRate() < 1.0 && hs.deliveryRate() == 1.0 && hs.mean() < 2.0 &&
+              hs.maxStretch() < 35.37,
+          "C1: hybrid delivers 100% with constant stretch", buf);
+  }
+
+  // --- Claim 2 (§1.4/E2): local routing degrades on a maze, hybrid does not.
+  {
+    scenario::ScenarioParams p;
+    const int teeth = 8;
+    const double depth = 16.0;
+    p.width = teeth * 5.2 - 3.2 + 12.0;
+    p.height = depth + 1.5 + 12.0;
+    p.seed = 17;
+    p.spacing = 0.42;
+    p.obstacles.push_back(scenario::combObstacle({6.0, 6.0}, teeth, 2.0, 3.2, depth, 1.5));
+    auto sc = scenario::makeScenario(p);
+    core::HybridNetwork net(sc.points);
+    auto nearest = [&](geom::Vec2 q) {
+      int best = 0;
+      double bd = 1e18;
+      for (int v = 0; v < static_cast<int>(sc.points.size()); ++v) {
+        const double d = geom::dist2(net.ldel().position(v), q);
+        if (d < bd) {
+          bd = d;
+          best = v;
+        }
+      }
+      return best;
+    };
+    const int s = nearest({6.0 + 2.0 + 1.6, 8.3});
+    const int t = nearest({6.0 + (teeth - 1) * 5.2 - 1.6, 8.3});
+    routing::FaceGreedyRouter face(net.ldel(), net.subdivision(), net.holes());
+    const double sf = net.stretch(face.route(s, t), s, t);
+    const double sh = net.stretch(net.route(s, t), s, t);
+    std::snprintf(buf, sizeof buf, "face %.2f vs hybrid %.2f", sf, sh);
+    check(sh < 1.6 && sf > 1.8 * sh, "C2: worst-case separation on the comb maze", buf);
+  }
+
+  // --- Claim 3 (Thm 1.2/§5): preprocessing rounds are polylog.
+  {
+    int prevTotal = 0;
+    bool boundedGrowth = true;
+    double lastRatio = 0.0;
+    for (const std::size_t n : {256u, 1024u, 4096u}) {
+      auto sc = bench::convexHolesScenario(n, 1000);
+      core::HybridNetwork net(sc.points);
+      sim::Simulator simulator(net.udg());
+      protocols::PreprocessingReport rep;
+      protocols::runDistributedPreprocessing(net, simulator, &rep, 3);
+      const double lg = std::log2(static_cast<double>(net.udg().numNodes()));
+      lastRatio = rep.totalRounds() / (lg * lg);
+      if (prevTotal > 0 && rep.totalRounds() > 2 * prevTotal) boundedGrowth = false;
+      prevTotal = rep.totalRounds();
+    }
+    std::snprintf(buf, sizeof buf, "rounds/log^2(n) = %.1f at n=4096", lastRatio);
+    check(boundedGrowth && lastRatio < 40.0, "C3: O(log^2 n) preprocessing rounds", buf);
+  }
+
+  // --- Claim 4 (Thm 1.2): storage independent of n.
+  {
+    long storage[2] = {0, 0};
+    int i = 0;
+    for (const double spacing : {0.5, 0.3}) {
+      scenario::ScenarioParams p;
+      p.width = p.height = 20.0;
+      p.seed = 77;
+      p.spacing = spacing;
+      p.obstacles.push_back(scenario::regularPolygonObstacle({10, 10}, 3.0, 6));
+      core::HybridNetwork net(scenario::makeScenario(p).points);
+      storage[i++] = net.storageReport().maxHullNodeStorage;
+    }
+    std::snprintf(buf, sizeof buf, "hull storage %ld -> %ld while n grows ~2.8x",
+                  storage[0], storage[1]);
+    check(storage[1] < storage[0] * 3 / 2 + 8, "C4: storage independent of n", buf);
+  }
+
+  // --- Claim 5 (Lem 5.2 / Thm 5.3): ring protocols in O(log k) rounds.
+  {
+    const int k = 1024;
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < k; ++i) {
+      const double a = 2.0 * 3.141592653589793 * i / k;
+      pts.push_back({k * std::cos(a), k * std::sin(a)});
+    }
+    const auto udg = delaunay::buildUnitDiskGraph(
+        pts, 2.0 * k * std::sin(3.141592653589793 / k) * 1.05);
+    sim::Simulator s(udg);
+    std::vector<int> ring(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) ring[static_cast<std::size_t>(i)] = i;
+    protocols::RingPipeline pipeline(s, {{ring}});
+    const auto results = pipeline.run();
+    std::snprintf(buf, sizeof buf, "total %d rounds for k=1024 (4 phases)",
+                  pipeline.rounds().total());
+    check(pipeline.rounds().total() <= 6 * 10 + 12 &&
+              results[0].hull.size() == static_cast<std::size_t>(k),
+          "C5: ring pipeline O(log k) rounds, correct hull", buf);
+  }
+
+  // --- Claim 6 (§5.6): dominating set O(1)-approx in O(log k) rounds.
+  {
+    const int k = 1000;
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < k; ++i) pts.push_back({i * 0.9, 0.0});
+    const auto g = delaunay::buildUnitDiskGraph(pts, 1.0);
+    sim::Simulator s(g);
+    std::vector<int> chain(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) chain[static_cast<std::size_t>(i)] = i;
+    protocols::DominatingSetProtocol proto(s, {chain}, 7);
+    const int rounds = proto.run();
+    const double ratio =
+        static_cast<double>(proto.dominatingSet(0).size()) / ((k + 2) / 3);
+    std::snprintf(buf, sizeof buf, "ratio %.2f, %d rounds for k=1000", ratio, rounds);
+    check(ratio < 2.0 && rounds < 150, "C6: dominating set approx + rounds", buf);
+  }
+
+  // --- Claim 7 (Thm 2.9 / 2.11): substrate constants.
+  {
+    auto sc = bench::convexHolesScenario(800, 1123);
+    core::HybridNetwork net(sc.points);
+    const geom::VisibilityContext vis(net.holes().holePolygons());
+    routing::ChewRouter chew(net.ldel(), net.subdivision());
+    std::mt19937 rng(9);
+    std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+    double worstSpan = 0.0;
+    double worstChew = 0.0;
+    int visible = 0;
+    for (int it = 0; it < 3000 && visible < 80; ++it) {
+      const int s = pick(rng);
+      const int t = pick(rng);
+      if (s == t) continue;
+      const double udg = net.shortestUdgDistance(s, t);
+      worstSpan = std::max(worstSpan,
+                           graph::shortestPathLength(net.ldel(), s, t) / udg);
+      if (!vis.visible(net.ldel().position(s), net.ldel().position(t))) continue;
+      const auto r = chew.route(s, t);
+      if (!r.delivered) continue;
+      ++visible;
+      worstChew = std::max(worstChew, net.ldel().pathLength(r.path) /
+                                          geom::dist(net.ldel().position(s),
+                                                     net.ldel().position(t)));
+    }
+    std::snprintf(buf, sizeof buf, "spanner max %.3f (<=1.998), chew max %.3f (<=5.9)",
+                  worstSpan, worstChew);
+    check(worstSpan <= 1.998 + 1e-9 && worstChew <= 5.9 + 1e-9 && visible >= 50,
+          "C7: LDel spanner and Chew bounds never violated", buf);
+  }
+
+  std::printf("\n%s (%d failure%s)\n", failures == 0 ? "ALL CLAIMS HOLD" : "CLAIMS BROKEN",
+              failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// E10 — substrate constants: LDel^2 spanner ratio and Chew's algorithm on
+// visible pairs (Theorems 2.9 and 2.11).
+//
+// (a) LDel^2 is a 1.998-spanner of the UDG: max over sampled pairs of
+//     (shortest LDel path) / (shortest UDG path).
+// (b) Chew-style corridor routing between mutually visible nodes yields a
+//     path of length at most 5.9 * ||st||; we report the measured maximum
+//     of path / ||st|| over visible pairs in a deployment with holes.
+
+#include <random>
+
+#include "bench_util.hpp"
+#include "graph/shortest_path.hpp"
+#include "routing/chew.hpp"
+
+using namespace hybrid;
+
+int main() {
+  std::printf("E10: spanner and Chew constants\n");
+
+  std::printf("(a) LDel^2 vs UDG spanner ratio (hole-free deployments)\n");
+  std::printf("%7s %7s | %8s %8s | %8s\n", "n", "pairs", "mean", "max", "bound");
+  bench::printRule(70);
+  for (const std::size_t n : {400u, 1000u, 2500u}) {
+    auto params = scenario::paramsForNodeCount(n, 91 + static_cast<unsigned>(n));
+    auto sc = scenario::makeScenario(params);
+    core::HybridNetwork net(sc.points);
+    std::mt19937 rng(3);
+    std::uniform_int_distribution<int> pick(0, static_cast<int>(net.ldel().numNodes()) - 1);
+    double worst = 0.0;
+    double sum = 0.0;
+    const int pairs = 150;
+    for (int i = 0; i < pairs; ++i) {
+      const int s = pick(rng);
+      int t = pick(rng);
+      if (s == t) t = (t + 1) % static_cast<int>(net.ldel().numNodes());
+      const double udg = net.shortestUdgDistance(s, t);
+      const double ldel = graph::shortestPathLength(net.ldel(), s, t);
+      const double ratio = ldel / udg;
+      worst = std::max(worst, ratio);
+      sum += ratio;
+    }
+    std::printf("%7zu %7d | %8.4f %8.4f | %8.3f\n", net.ldel().numNodes(), pairs,
+                sum / pairs, worst, 1.998);
+  }
+  bench::printRule(70);
+
+  std::printf("(b) Chew corridor routing on visible pairs vs ||st|| (with holes)\n");
+  std::printf("%7s %7s | %8s %8s %8s | %8s\n", "n", "pairs", "mean", "p95", "max",
+              "bound");
+  bench::printRule(70);
+  for (const std::size_t n : {500u, 1500u, 3000u}) {
+    auto sc = bench::convexHolesScenario(n, 123 + static_cast<unsigned>(n));
+    core::HybridNetwork net(sc.points);
+    const geom::VisibilityContext vis(net.holes().holePolygons());
+    routing::ChewRouter chew(net.ldel(), net.subdivision());
+
+    std::mt19937 rng(9);
+    std::uniform_int_distribution<int> pick(0, static_cast<int>(net.ldel().numNodes()) - 1);
+    std::vector<double> ratios;
+    int tried = 0;
+    while (ratios.size() < 200 && tried < 20000) {
+      ++tried;
+      const int s = pick(rng);
+      const int t = pick(rng);
+      if (s == t) continue;
+      const auto ps = net.ldel().position(s);
+      const auto pt = net.ldel().position(t);
+      if (!vis.visible(ps, pt)) continue;
+      const auto r = chew.route(s, t);
+      if (!r.delivered) continue;  // outer-face corner cases
+      ratios.push_back(net.ldel().pathLength(r.path) / geom::dist(ps, pt));
+    }
+    std::sort(ratios.begin(), ratios.end());
+    double sum = 0.0;
+    for (double v : ratios) sum += v;
+    std::printf("%7zu %7zu | %8.4f %8.4f %8.4f | %8.1f\n", net.ldel().numNodes(),
+                ratios.size(), sum / static_cast<double>(ratios.size()),
+                ratios[static_cast<std::size_t>(0.95 * (ratios.size() - 1))],
+                ratios.back(), 5.9);
+  }
+  bench::printRule(70);
+  std::printf("expected: spanner max well under 1.998; Chew max well under 5.9\n");
+  return 0;
+}

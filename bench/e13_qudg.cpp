@@ -1,0 +1,59 @@
+// E13 (robustness study) — quasi-unit-disk radios (paper §7 names physical
+// wireless effects as future work).
+//
+// Links longer than a reliable radius exist only with probability 1-p.
+// None of the paper's UDG theorems cover this model, so this experiment
+// probes how gracefully the pipeline degrades: dropped long links shred
+// the boundary into more (spurious) holes, which costs abstraction size
+// and some stretch, but the router's fallbacks keep delivery total.
+
+#include <random>
+
+#include "bench_util.hpp"
+#include "delaunay/ldel.hpp"
+
+using namespace hybrid;
+
+int main() {
+  std::printf("E13 (robustness): quasi-UDG radio model, reliable radius 0.75\n");
+  std::printf("%6s %6s | %6s %7s %7s | %6s %8s %8s %7s\n", "p", "n", "holes",
+              "ldelE", "crossRm", "deliv", "mean", "max", "fallbk");
+  bench::printRule(96);
+
+  for (const double p : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+    scenario::ScenarioParams sp;
+    sp.width = sp.height = 20.0;
+    sp.seed = 81;
+    sp.spacing = 0.45;  // headroom so the reliable links alone stay connected
+    sp.obstacles.push_back(scenario::regularPolygonObstacle({10.0, 10.0}, 3.0, 6));
+    const auto sc = scenario::makeScenario(sp);
+
+    delaunay::LDelOptions opts;
+    opts.reliableRadius = 0.75;
+    opts.dropProbability = p;
+    opts.dropSeed = 5;
+    core::HybridNetwork net(sc.points, opts);
+
+    // Only evaluate pairs connected in the (degraded) UDG.
+    std::mt19937 rng(3);
+    std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+    bench::StretchStats stats;
+    for (int it = 0; it < 200; ++it) {
+      const int s = pick(rng);
+      const int t = pick(rng);
+      if (s == t) continue;
+      if (std::isinf(net.shortestUdgDistance(s, t))) continue;
+      const auto r = net.route(s, t);
+      stats.add(r, net.stretch(r, s, t));
+    }
+    std::printf("%6.2f %6zu | %6zu %7zu %7d | %5.1f%% %8.3f %8.3f %7d\n", p,
+                net.udg().numNodes(), net.holes().holes.size(), net.ldel().numEdges(),
+                net.ldelResult().removedCrossings, 100.0 * stats.deliveryRate(),
+                stats.mean(), stats.maxStretch(), stats.fallbacks);
+  }
+  bench::printRule(96);
+  std::printf("expected: hole count grows with p (radio irregularity shreds the\n"
+              "boundary); delivery stays 100%% via fallbacks; stretch degrades\n"
+              "gracefully rather than collapsing\n");
+  return 0;
+}

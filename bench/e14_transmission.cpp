@@ -1,0 +1,62 @@
+// E14 — end-to-end transmission cost on the message-passing simulator
+// (the §1.2 flow: position handshake over a long-range link, then ad hoc
+// forwarding along the protocol's route).
+//
+// For random pairs we report the full round cost (2 handshake rounds + one
+// round per ad hoc hop) and the message budget split between the two link
+// types — the paper's economic argument is exactly that long-range usage
+// stays tiny (2 messages per transmission) while all payload volume
+// travels over free ad hoc links.
+
+#include <random>
+
+#include "bench_util.hpp"
+#include "protocols/routing_sim.hpp"
+
+using namespace hybrid;
+
+int main() {
+  std::printf("E14: end-to-end transmission on the simulator\n");
+  std::printf("%6s %7s | %8s %8s %8s | %9s %9s\n", "n", "pairs", "rounds", "hops",
+              "stretch", "longRange", "adHoc");
+  bench::printRule(84);
+
+  for (const std::size_t n : {300u, 900u, 2000u}) {
+    auto sc = bench::convexHolesScenario(n, 88 + static_cast<unsigned>(n));
+    core::HybridNetwork net(sc.points);
+    sim::Simulator simulator(net.udg());
+
+    std::mt19937 rng(4);
+    std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+    long sumRounds = 0;
+    long sumHops = 0;
+    long sumLong = 0;
+    long sumAdHoc = 0;
+    double sumStretch = 0.0;
+    int done = 0;
+    const int pairs = 60;
+    for (int it = 0; it < pairs; ++it) {
+      const int s = pick(rng);
+      int t = pick(rng);
+      if (t == s) t = (t + 1) % static_cast<int>(sc.points.size());
+      const auto tx = protocols::simulateTransmission(net, simulator, s, t);
+      if (!tx.delivered) continue;
+      ++done;
+      sumRounds += tx.rounds;
+      sumHops += tx.adHocHops;
+      sumLong += tx.longRangeMessages;
+      sumAdHoc += tx.adHocMessages;
+      const auto oracle = net.route(s, t);
+      sumStretch += net.stretch(oracle, s, t);
+    }
+    std::printf("%6zu %7d | %8.1f %8.1f %8.3f | %9.1f %9.1f\n", net.udg().numNodes(),
+                done, static_cast<double>(sumRounds) / done,
+                static_cast<double>(sumHops) / done, sumStretch / done,
+                static_cast<double>(sumLong) / done,
+                static_cast<double>(sumAdHoc) / done);
+  }
+  bench::printRule(84);
+  std::printf("expected: exactly 2 long-range messages per transmission regardless of\n"
+              "n (the paper's cost model); rounds = hops + 2\n");
+  return 0;
+}

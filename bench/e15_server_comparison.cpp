@@ -1,0 +1,79 @@
+// E15 — the economics of the hybrid approach vs the §1 strawman.
+//
+// The paper's introduction dismisses the obvious alternative — every node
+// uploads its position/neighborhood to a server that computes optimal
+// routes — because long-range (cellular) traffic is the expensive
+// resource. This experiment prices both designs in long-range messages:
+//
+//   server:  n uploads per refresh epoch + 2 per routed message,
+//            optimal paths (stretch 1).
+//   hybrid:  one-off O(log^2 n)-round preprocessing whose long-range
+//            message total is polylog *per node*, then 2 long-range
+//            messages per routed message, c-competitive paths.
+//
+// The hybrid's preprocessing bill is amortized once; the server pays n
+// uploads on *every* position refresh (the paper's mobile setting).
+
+#include "bench_util.hpp"
+#include "protocols/preprocessing.hpp"
+#include "protocols/ring_pipeline.hpp"
+#include "protocols/dominating_set_protocol.hpp"
+#include "routing/server_oracle.hpp"
+
+using namespace hybrid;
+
+int main() {
+  std::printf("E15: long-range message bill - hybrid vs server strawman\n");
+  std::printf("%7s | %10s %10s | %10s %10s %10s | %9s %9s\n", "n", "srvUpload",
+              "srvWords", "hybSetup", "hybRefrsh", "refrWords", "hybStrtch", "srvStrtch");
+  bench::printRule(104);
+
+  for (const std::size_t n : {300u, 1000u, 3000u, 8000u}) {
+    auto sc = bench::convexHolesScenario(n, 2200 + static_cast<unsigned>(n));
+    core::HybridNetwork net(sc.points);
+
+    routing::ServerOracleRouter server(net.udg());
+    sim::Simulator simulator(net.udg());
+    protocols::PreprocessingReport rep;
+    protocols::runDistributedPreprocessing(net, simulator, &rep, 3);
+    long hybridLongRange = 0;
+    for (const auto& st : simulator.stats()) hybridLongRange += st.sentLongRange;
+
+    // Per mobility refresh (§6): ring phases + dominating sets only.
+    sim::Simulator refreshSim(net.udg());
+    protocols::RingInputs rings;
+    for (const auto& h : net.holes().holes) rings.rings.push_back(h.ring);
+    if (net.holes().outerBoundary.size() >= 3) {
+      rings.rings.push_back(net.holes().outerBoundary);
+    }
+    protocols::RingPipeline refresh(refreshSim, std::move(rings));
+    refresh.run();
+    std::vector<std::vector<int>> chains;
+    for (const auto& a : net.abstractions()) {
+      for (const auto& bay : a.bays) chains.push_back(bay.chain);
+    }
+    protocols::DominatingSetProtocol ds(refreshSim, chains, 3);
+    ds.run();
+    long hybridRefresh = 0;
+    long hybridRefreshWords = 0;
+    for (const auto& st : refreshSim.stats()) {
+      hybridRefresh += st.sentLongRange;
+      hybridRefreshWords += st.sentWords;
+    }
+
+    const auto hybStats = bench::evaluateRouter(net, net.router(), 100, 9);
+    const auto srvStats = bench::evaluateRouter(net, server, 100, 9);
+
+    std::printf("%7zu | %10ld %10ld | %10ld %10ld %10ld | %9.3f %9.3f\n",
+                net.udg().numNodes(), server.uploadMessagesPerEpoch(),
+                server.uploadWordsPerEpoch(), hybridLongRange, hybridRefresh,
+                hybridRefreshWords, hybStats.mean(), srvStats.mean());
+  }
+  bench::printRule(104);
+  std::printf("expected: the server pays n uploads with Theta(E) words on EVERY position\n"
+              "refresh; the hybrid pays its setup once and each refresh touches only the\n"
+              "boundary nodes - its per-node refresh cost falls with n (boundary is\n"
+              "O(sqrt n)) while the server's stays n. Both pay 2 per routed message;\n"
+              "the hybrid trades ~14%% stretch for never shipping the topology anywhere.\n");
+  return 0;
+}

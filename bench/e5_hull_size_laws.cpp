@@ -1,0 +1,67 @@
+// E5 — abstraction size laws (Lemmas 4.2 and 4.4).
+//
+// Lemma 4.4: the convex hull of a hole ring has O(L) nodes, where L is the
+// circumference of the hull's minimum bounding box. Lemma 4.2: a locally
+// convex hull has O(A) nodes, where A is the covered area. We sweep the
+// hole size for a convex (hexagon) and a strongly concave (U-shape)
+// obstacle and report |ring| = Theta(P), |lch| and |hull| together with the
+// normalizing quantities: hull/L and lch/A should stay bounded while the
+// absolute counts grow.
+
+#include "bench_util.hpp"
+
+using namespace hybrid;
+
+namespace {
+
+void report(const char* label, const std::vector<geom::Polygon>& obstacles, double side,
+            geom::Vec2 probe) {
+  scenario::ScenarioParams p;
+  p.width = p.height = side;
+  p.seed = 5;
+  p.obstacles = obstacles;
+  auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  for (const auto& a : net.abstractions()) {
+    const auto& hole = net.holes().holes[static_cast<std::size_t>(a.holeIndex)];
+    if (hole.outer || !hole.polygon.contains(probe)) continue;
+    const double A = hole.polygon.area();
+    const double L = a.bboxCircumference;
+    std::printf("%-10s %6zu | %6zu %7.1f %7.2f | %6zu %8.1f %7.2f | %6zu %8.2f %7.2f\n",
+                label, net.udg().numNodes(), hole.ring.size(), hole.perimeter(),
+                static_cast<double>(hole.ring.size()) / hole.perimeter(),
+                a.locallyConvexHull.size(), A,
+                static_cast<double>(a.locallyConvexHull.size()) / std::max(1.0, A),
+                a.hullNodes.size(), L, static_cast<double>(a.hullNodes.size()) / L);
+    return;
+  }
+  std::printf("%-10s: hole not found\n", label);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: abstraction size laws (Lem. 4.2: |lch|=O(A); Lem. 4.4: |hull|=O(L))\n");
+  std::printf("%-10s %6s | %6s %7s %7s | %6s %8s %7s | %6s %8s %7s\n", "shape", "n",
+              "|ring|", "P(h)", "ring/P", "|lch|", "A", "lch/A", "|hull|", "L(c)",
+              "hull/L");
+  bench::printRule(112);
+
+  for (const double r : {2.0, 3.0, 4.5, 6.0, 8.0}) {
+    const double side = 6.0 * r;
+    report("hexagon", {scenario::regularPolygonObstacle({side / 2, side / 2}, r, 6)}, side,
+           {side / 2, side / 2});
+  }
+  bench::printRule(112);
+  for (const double w : {5.0, 8.0, 12.0, 16.0}) {
+    const double side = 2.5 * w;
+    // Probe the middle of the U's bottom wall (inside the hole).
+    report("u-shape",
+           {scenario::uShapeObstacle({side / 2, side / 2}, w, 0.8 * w, 1.4)}, side,
+           {side / 2, side / 2 - 0.4 * w + 0.7});
+  }
+  bench::printRule(112);
+  std::printf("expected: ring/P, lch/A and hull/L columns stay bounded while the\n"
+              "absolute counts grow; |hull| << |lch| <= |ring| for concave holes\n");
+  return 0;
+}

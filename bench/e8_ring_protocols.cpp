@@ -1,0 +1,74 @@
+// E8 — ring protocol complexities (Lemma 5.2, Theorem 5.3, §5.3).
+//
+// Pointer jumping + leader election and the hull aggregation/broadcast run
+// in O(log k) rounds with O(log k) messages per node; Batcher's bitonic
+// sort on the emulated hypercube runs in O(log^2 k) rounds. We sweep
+// power-of-two ring sizes (the paper's simplifying assumption for the
+// sorting step) and print each phase next to its normalizer.
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "bench_util.hpp"
+#include "delaunay/udg.hpp"
+#include "protocols/bitonic_sort.hpp"
+#include "protocols/ring_pipeline.hpp"
+
+using namespace hybrid;
+
+namespace {
+
+graph::GeometricGraph circleRing(int k) {
+  std::vector<geom::Vec2> pts;
+  const double r = static_cast<double>(k);
+  for (int i = 0; i < k; ++i) {
+    const double a = 2.0 * std::numbers::pi * i / k;
+    pts.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  const double chord = 2.0 * r * std::sin(std::numbers::pi / k);
+  return delaunay::buildUnitDiskGraph(pts, chord * 1.05);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: ring protocols - rounds vs ring size\n");
+  std::printf("%6s %5s | %5s %5s %5s %5s | %7s | %6s %8s | %9s %9s\n", "k", "lg k",
+              "ptrj", "ids", "aggr", "bcast", "tot/lg", "sort", "sort/lg2", "msgs/node",
+              "words/nd");
+  bench::printRule(110);
+
+  for (int exp = 4; exp <= 12; ++exp) {
+    const int k = 1 << exp;
+    const auto g = circleRing(k);
+    sim::Simulator s(g);
+    std::vector<int> ring(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) ring[static_cast<std::size_t>(i)] = i;
+
+    protocols::RingPipeline pipeline(s, {{ring}});
+    pipeline.run();
+    const auto& r = pipeline.rounds();
+    const long pipelineMsgs = s.totalMessages();
+    const long pipelineWords = s.maxWordsPerNode();
+
+    std::vector<double> keys(static_cast<std::size_t>(k));
+    std::mt19937 rng(static_cast<unsigned>(k));
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    for (auto& v : keys) v = d(rng);
+    s.resetStats();
+    protocols::BitonicSorter sorter(s, ring, keys);
+    const int sortRounds = sorter.run();
+
+    const double lg = exp;
+    std::printf("%6d %5.0f | %5d %5d %5d %5d | %7.2f | %6d %8.2f | %9.1f %9ld\n", k, lg,
+                r.pointerJumping, r.idAssignment, r.aggregation, r.broadcast,
+                static_cast<double>(r.total()) / lg, sortRounds,
+                static_cast<double>(sortRounds) / (lg * lg),
+                static_cast<double>(pipelineMsgs) / k, pipelineWords);
+  }
+  bench::printRule(110);
+  std::printf("expected: tot/lg and sort/lg2 columns stay bounded; msgs/node grows\n"
+              "logarithmically (Lemma 5.2); words/node reflects the hull payloads\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Maze escape: the worst case for local routing. A deep comb-shaped hole
+// separates the source from the target; greedy dies in a gap, the
+// GOAFR-style baseline crawls the whole boundary, and the hybrid protocol
+// plans around the hull via long-range links. Exports the three attempts
+// into one SVG for comparison.
+
+#include <cstdio>
+
+#include "core/hybrid_network.hpp"
+#include "io/svg_export.hpp"
+#include "routing/baselines.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+using namespace hybrid;
+
+namespace {
+
+int nearestNode(const graph::GeometricGraph& g, geom::Vec2 p) {
+  int best = 0;
+  double bestD = 1e18;
+  for (int v = 0; v < static_cast<int>(g.numNodes()); ++v) {
+    const double d = geom::dist2(g.position(v), p);
+    if (d < bestD) {
+      bestD = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const int teeth = 6;
+  const double toothW = 2.0;
+  const double gapW = 3.2;
+  const double depth = 10.0;
+  const double bar = 1.5;
+  const double margin = 6.0;
+
+  scenario::ScenarioParams params;
+  params.width = teeth * (toothW + gapW) - gapW + 2 * margin;
+  params.height = depth + bar + 2 * margin;
+  params.seed = 99;
+  params.spacing = 0.42;
+  params.obstacles.push_back(
+      scenario::combObstacle({margin, margin}, teeth, toothW, gapW, depth, bar));
+  const auto sc = scenario::makeScenario(params);
+
+  core::HybridNetwork net(sc.points);
+  const double gapY = margin + bar + 0.8;
+  const int s = nearestNode(net.ldel(), {margin + toothW + gapW / 2, gapY});
+  const int t = nearestNode(
+      net.ldel(), {margin + (teeth - 1) * (toothW + gapW) - gapW / 2, gapY});
+  std::printf("maze: %zu nodes, s=%d t=%d (both inside gaps of the comb)\n",
+              sc.points.size(), s, t);
+
+  routing::GreedyRouter greedy(net.ldel());
+  routing::FaceGreedyRouter face(net.ldel(), net.subdivision(), net.holes());
+  auto& hybrid = net.router();
+
+  const auto rg = greedy.route(s, t);
+  const auto rf = face.route(s, t);
+  const auto rh = hybrid.route(s, t);
+  std::printf("greedy:      %s after %zu hops\n", rg.delivered ? "delivered" : "stuck",
+              rg.hops());
+  std::printf("face-greedy: %s, %zu hops, stretch %.3f\n",
+              rf.delivered ? "delivered" : "lost", rf.hops(), net.stretch(rf, s, t));
+  std::printf("hybrid:      %s, %zu hops, stretch %.3f (|E_route| = %d)\n",
+              rh.delivered ? "delivered" : "lost", rh.hops(), net.stretch(rh, s, t),
+              rh.bayExtremePoints);
+
+  io::SvgExporter svg(net);
+  svg.drawObstacles(sc.obstacles).drawNetwork(false).drawHoles().drawAbstractions();
+  svg.drawRoute(rf, "#d9a13b").drawRoute(rh, "#2c8a4b").drawRoute(rg, "#c24b4b");
+  if (svg.save("maze.svg")) {
+    std::printf("wrote maze.svg (red: greedy, orange: face-greedy, green: hybrid)\n");
+  }
+  return 0;
+}

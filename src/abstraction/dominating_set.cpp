@@ -1,0 +1,59 @@
+#include "abstraction/dominating_set.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hybrid::abstraction {
+
+std::vector<graph::NodeId> pathDominatingSet(const std::vector<graph::NodeId>& chain) {
+  std::vector<graph::NodeId> ds;
+  // Picking positions 1, 4, 7, ... dominates a path optimally; the final
+  // node is added when the tail would otherwise be uncovered.
+  for (std::size_t i = 1; i < chain.size(); i += 3) ds.push_back(chain[i]);
+  if (!chain.empty() && chain.size() % 3 == 1) ds.push_back(chain.back());
+  if (chain.size() == 1) ds.assign(1, chain[0]);
+  return ds;
+}
+
+std::vector<graph::NodeId> greedyDominatingSet(const graph::GeometricGraph& g,
+                                               const std::vector<graph::NodeId>& targets) {
+  std::unordered_set<graph::NodeId> uncovered(targets.begin(), targets.end());
+  const std::unordered_set<graph::NodeId> targetSet(targets.begin(), targets.end());
+  std::vector<graph::NodeId> ds;
+  while (!uncovered.empty()) {
+    graph::NodeId best = -1;
+    std::size_t bestGain = 0;
+    for (graph::NodeId c : targets) {
+      std::size_t gain = uncovered.contains(c) ? 1 : 0;
+      for (graph::NodeId nb : g.neighbors(c)) {
+        if (targetSet.contains(nb) && uncovered.contains(nb)) ++gain;
+      }
+      if (gain > bestGain || (gain == bestGain && gain > 0 && c < best)) {
+        bestGain = gain;
+        best = c;
+      }
+    }
+    if (best < 0) break;  // disconnected targets; should not happen
+    ds.push_back(best);
+    uncovered.erase(best);
+    for (graph::NodeId nb : g.neighbors(best)) uncovered.erase(nb);
+  }
+  std::sort(ds.begin(), ds.end());
+  return ds;
+}
+
+bool dominatesChain(const std::vector<graph::NodeId>& chain,
+                    const std::vector<graph::NodeId>& ds) {
+  const std::set<graph::NodeId> dset(ds.begin(), ds.end());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (dset.contains(chain[i])) continue;
+    const bool prevIn = i > 0 && dset.contains(chain[i - 1]);
+    const bool nextIn = i + 1 < chain.size() && dset.contains(chain[i + 1]);
+    if (!prevIn && !nextIn) return false;
+  }
+  return true;
+}
+
+}  // namespace hybrid::abstraction

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hybrid::abstraction {
+
+/// Dominating set of a path of nodes (a bay chain): every chain node is in
+/// the set or adjacent (on the chain) to a member. The greedy every-third
+/// rule is optimal for paths: |DS| = ceil(k / 3).
+std::vector<graph::NodeId> pathDominatingSet(const std::vector<graph::NodeId>& chain);
+
+/// Greedy dominating set of an arbitrary graph restricted to `targets`
+/// (every target must be dominated; members are chosen from targets).
+/// Classic ln(Delta)-approximation.
+std::vector<graph::NodeId> greedyDominatingSet(const graph::GeometricGraph& g,
+                                               const std::vector<graph::NodeId>& targets);
+
+/// Verifies the dominating-set property of `ds` over the chain.
+bool dominatesChain(const std::vector<graph::NodeId>& chain,
+                    const std::vector<graph::NodeId>& ds);
+
+/// Dominating sets for every bay of every abstraction, flattened in
+/// (abstraction, bay) iteration order.
+struct HoleAbstraction;
+
+}  // namespace hybrid::abstraction

@@ -1,0 +1,68 @@
+#include "abstraction/hull_groups.hpp"
+
+#include <map>
+
+#include "geom/segment.hpp"
+#include "graph/dsu.hpp"
+
+namespace hybrid::abstraction {
+
+bool convexPolygonsIntersect(const geom::Polygon& a, const geom::Polygon& b) {
+  if (a.size() < 3 || b.size() < 3) return false;
+  if (!a.boundingBox().intersects(b.boundingBox())) return false;
+  for (const geom::Vec2 p : b.vertices()) {
+    if (a.contains(p)) return true;
+  }
+  for (const geom::Vec2 p : a.vertices()) {
+    if (b.contains(p)) return true;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (geom::segmentsIntersect(a.edge(i), b.edge(j))) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<HullGroup> mergeIntersectingHulls(
+    const graph::GeometricGraph& ldel,
+    const std::vector<HoleAbstraction>& abstractions) {
+  const int n = static_cast<int>(abstractions.size());
+  graph::DisjointSetUnion dsu(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (convexPolygonsIntersect(abstractions[static_cast<std::size_t>(i)].hullPolygon,
+                                  abstractions[static_cast<std::size_t>(j)].hullPolygon)) {
+        dsu.unite(i, j);
+      }
+    }
+  }
+
+  std::map<int, HullGroup> byRoot;
+  for (int i = 0; i < n; ++i) byRoot[dsu.find(i)].members.push_back(i);
+
+  std::vector<HullGroup> out;
+  out.reserve(byRoot.size());
+  for (auto& [root, group] : byRoot) {
+    // Merged hull: convex hull of all member hull nodes.
+    std::vector<graph::NodeId> candidates;
+    std::vector<geom::Vec2> pts;
+    for (int m : group.members) {
+      for (graph::NodeId v : abstractions[static_cast<std::size_t>(m)].hullNodes) {
+        candidates.push_back(v);
+        pts.push_back(ldel.position(v));
+      }
+    }
+    const auto hullIdx = geom::convexHullIndices(pts);
+    std::vector<geom::Vec2> hullPts;
+    for (int idx : hullIdx) {
+      group.hullNodes.push_back(candidates[static_cast<std::size_t>(idx)]);
+      hullPts.push_back(pts[static_cast<std::size_t>(idx)]);
+    }
+    group.hullPolygon = geom::Polygon(std::move(hullPts));
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace hybrid::abstraction

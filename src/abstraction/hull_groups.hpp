@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "abstraction/hole_abstraction.hpp"
+
+namespace hybrid::abstraction {
+
+/// Extension beyond the paper (its §7 names this as future work): when the
+/// convex hulls of radio holes intersect, the §4 routing protocol loses
+/// its guarantees. We merge intersecting hulls transitively into *hull
+/// groups* and use the convex hull of each group as the abstraction
+/// instead; the merged hull's corners are still real hull nodes, so the
+/// overlay machinery applies unchanged.
+struct HullGroup {
+  std::vector<int> members;            ///< Abstraction indices merged here.
+  std::vector<graph::NodeId> hullNodes;  ///< Corners of the merged hull (ccw).
+  geom::Polygon hullPolygon;
+};
+
+/// True if the two convex polygons intersect (shared area or boundary
+/// crossing; containment counts).
+bool convexPolygonsIntersect(const geom::Polygon& a, const geom::Polygon& b);
+
+/// Partitions the abstractions into maximal groups of transitively
+/// intersecting hulls and computes each group's merged hull.
+std::vector<HullGroup> mergeIntersectingHulls(
+    const graph::GeometricGraph& ldel,
+    const std::vector<HoleAbstraction>& abstractions);
+
+}  // namespace hybrid::abstraction

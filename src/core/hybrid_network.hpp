@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abstraction/hole_abstraction.hpp"
+#include "delaunay/ldel.hpp"
+#include "holes/hole_detection.hpp"
+#include "routing/baselines.hpp"
+#include "routing/hybrid_router.hpp"
+#include "routing/subdivision.hpp"
+
+namespace hybrid::core {
+
+/// Facade over the full pipeline of the paper:
+///   points -> UDG -> LDel^2 -> radio holes -> convex hull abstraction ->
+///   overlay -> competitive routing.
+///
+/// This is the "oracle" (centralized) computation; the distributed
+/// protocols in src/protocols compute the same artifacts with message
+/// passing and are cross-validated against this class in the tests.
+class HybridNetwork {
+ public:
+  explicit HybridNetwork(std::vector<geom::Vec2> points, double radius = 1.0);
+  /// Full-control constructor (custom k, QUDG radio model, ...).
+  HybridNetwork(std::vector<geom::Vec2> points, const delaunay::LDelOptions& options);
+
+  const graph::GeometricGraph& udg() const { return ldel_.udg; }
+  const graph::GeometricGraph& ldel() const { return ldel_.graph; }
+  const delaunay::LocalizedDelaunay& ldelResult() const { return ldel_; }
+  const holes::HoleAnalysis& holes() const { return holes_; }
+  const std::vector<abstraction::HoleAbstraction>& abstractions() const {
+    return abstractions_;
+  }
+  const routing::PlanarSubdivision& subdivision() const { return *subdivision_; }
+  double radius() const { return radius_; }
+
+  /// The paper's §4 router (convex hulls + overlay Delaunay by default).
+  routing::HybridRouter& router() { return *router_; }
+  /// Builds a router with non-default abstraction/overlay choices.
+  std::unique_ptr<routing::HybridRouter> makeRouter(routing::HybridOptions options) const;
+
+  routing::RouteResult route(graph::NodeId s, graph::NodeId t) { return router_->route(s, t); }
+
+  /// Euclidean length of the shortest s-t path in the UDG: the d(s, t) of
+  /// the competitive-ratio definition.
+  double shortestUdgDistance(graph::NodeId s, graph::NodeId t) const;
+
+  /// Stretch of a delivered route: ||path|| / d(s, t). Infinity when
+  /// undelivered.
+  double stretch(const routing::RouteResult& r, graph::NodeId s, graph::NodeId t) const;
+
+  /// Storage accounting of Theorem 1.2 for the current abstraction.
+  abstraction::StorageReport storageReport() const;
+
+  /// True when no two hole convex hulls intersect (the paper's standing
+  /// assumption for the §4 router).
+  bool convexHullsDisjoint() const;
+
+ private:
+  double radius_;
+  delaunay::LocalizedDelaunay ldel_;
+  holes::HoleAnalysis holes_;
+  std::vector<abstraction::HoleAbstraction> abstractions_;
+  std::unique_ptr<routing::PlanarSubdivision> subdivision_;
+  std::unique_ptr<routing::HybridRouter> router_;
+};
+
+}  // namespace hybrid::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "graph/graph.hpp"
+
+namespace hybrid::delaunay {
+
+/// A triangle of the triangulation. Vertices are indices into the point
+/// array, in counter-clockwise order; `adj[i]` is the index of the triangle
+/// sharing the edge opposite vertex i (-1 on the boundary).
+struct Triangle {
+  std::array<int, 3> v{-1, -1, -1};
+  std::array<int, 3> adj{-1, -1, -1};
+};
+
+/// Delaunay triangulation of a planar point set, built incrementally
+/// (Bowyer–Watson) with robust predicates and walking point location.
+/// The input set must contain no duplicate points.
+class DelaunayTriangulation {
+ public:
+  /// Builds the triangulation of `points` (empty and 1-point sets allowed).
+  explicit DelaunayTriangulation(const std::vector<geom::Vec2>& points);
+
+  const std::vector<geom::Vec2>& points() const { return pts_; }
+
+  /// All finite triangles (super-triangle remnants removed), ccw.
+  const std::vector<Triangle>& triangles() const { return tris_; }
+
+  /// All Delaunay edges as (u, v) pairs with u < v (indices into points()).
+  std::vector<std::pair<int, int>> edges() const;
+
+  /// The triangulation as a geometric graph over the input points.
+  graph::GeometricGraph toGraph() const;
+
+  /// True if the edge {u, v} is a Delaunay edge.
+  bool hasEdge(int u, int v) const;
+
+ private:
+  std::vector<geom::Vec2> pts_;
+  std::vector<Triangle> tris_;
+};
+
+}  // namespace hybrid::delaunay

@@ -1,0 +1,19 @@
+#include "delaunay/udg.hpp"
+
+#include "spatial/grid_index.hpp"
+
+namespace hybrid::delaunay {
+
+graph::GeometricGraph buildUnitDiskGraph(const std::vector<geom::Vec2>& points,
+                                         double radius) {
+  graph::GeometricGraph g(points);
+  const spatial::GridIndex grid(points, radius);
+  for (int i = 0; i < static_cast<int>(points.size()); ++i) {
+    for (int j : grid.neighborsOf(i, radius)) {
+      if (j > i) g.addEdge(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace hybrid::delaunay

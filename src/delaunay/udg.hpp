@@ -1,0 +1,16 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "graph/graph.hpp"
+
+namespace hybrid::delaunay {
+
+/// Unit Disk Graph of `points`: bidirected edges between all pairs at
+/// Euclidean distance <= `radius` (paper Definition 1.1, radius = 1).
+/// Built with a uniform grid in O(n + output) expected time.
+graph::GeometricGraph buildUnitDiskGraph(const std::vector<geom::Vec2>& points,
+                                         double radius = 1.0);
+
+}  // namespace hybrid::delaunay

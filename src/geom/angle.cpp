@@ -1,0 +1,39 @@
+#include "geom/angle.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace hybrid::geom {
+
+double signedTurnAngle(Vec2 u, Vec2 v, Vec2 w) {
+  const Vec2 d1 = v - u;
+  const Vec2 d2 = w - v;
+  return std::atan2(d1.cross(d2), d1.dot(d2));
+}
+
+double ccwAngle(Vec2 u, Vec2 v, Vec2 w) {
+  const double a1 = std::atan2(u.y - v.y, u.x - v.x);
+  const double a2 = std::atan2(w.y - v.y, w.x - v.x);
+  double a = a2 - a1;
+  if (a < 0.0) a += 2.0 * std::numbers::pi;
+  return a;
+}
+
+double turningSum(const std::vector<Vec2>& ring) {
+  const std::size_t n = ring.size();
+  if (n < 3) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += signedTurnAngle(ring[i], ring[(i + 1) % n], ring[(i + 2) % n]);
+  }
+  return sum;
+}
+
+double directionAngle(Vec2 a, Vec2 b) {
+  double ang = std::atan2(b.y - a.y, b.x - a.x);
+  if (ang < 0.0) ang += 2.0 * std::numbers::pi;
+  return ang;
+}
+
+}  // namespace hybrid::geom

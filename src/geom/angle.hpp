@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace hybrid::geom {
+
+/// Signed turn angle in radians at v when walking u -> v -> w.
+/// Positive for a left (counter-clockwise) turn, negative for a right turn,
+/// 0 when walking straight on. Range (-pi, pi].
+double signedTurnAngle(Vec2 u, Vec2 v, Vec2 w);
+
+/// Interior angle at v of the wedge (u, v, w), measured counter-clockwise
+/// from ray v->u to ray v->w. Range [0, 2*pi).
+double ccwAngle(Vec2 u, Vec2 v, Vec2 w);
+
+/// Sum of signed turn angles along the closed ring (in radians):
+/// +2*pi for a counter-clockwise simple ring, -2*pi for clockwise.
+/// Used by the distributed hole-detection protocol (paper section 5.4).
+double turningSum(const std::vector<Vec2>& ring);
+
+/// Angle of the direction a->b in [0, 2*pi).
+double directionAngle(Vec2 a, Vec2 b);
+
+}  // namespace hybrid::geom

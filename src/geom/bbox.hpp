@@ -1,0 +1,44 @@
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "geom/vec2.hpp"
+
+namespace hybrid::geom {
+
+/// Axis-aligned bounding box.
+struct BBox {
+  Vec2 lo{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity()};
+  Vec2 hi{-std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity()};
+
+  void expand(Vec2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  bool empty() const { return lo.x > hi.x; }
+  double width() const { return empty() ? 0.0 : hi.x - lo.x; }
+  double height() const { return empty() ? 0.0 : hi.y - lo.y; }
+  /// Circumference of the box; the paper's L(c) for a convex hull c.
+  double circumference() const { return 2.0 * (width() + height()); }
+  double area() const { return width() * height(); }
+  Vec2 center() const { return midpoint(lo, hi); }
+
+  bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  bool intersects(const BBox& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+
+  static BBox of(std::span<const Vec2> pts) {
+    BBox b;
+    for (Vec2 p : pts) b.expand(p);
+    return b;
+  }
+};
+
+}  // namespace hybrid::geom

@@ -1,0 +1,70 @@
+#include "geom/circle.hpp"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace hybrid::geom {
+
+std::optional<Vec2> circumcenter(Vec2 a, Vec2 b, Vec2 c) {
+  const Vec2 ab = b - a;
+  const Vec2 ac = c - a;
+  const double d = 2.0 * ab.cross(ac);
+  if (d == 0.0) return std::nullopt;
+  const double ab2 = ab.norm2();
+  const double ac2 = ac.norm2();
+  const double ux = (ac.y * ab2 - ab.y * ac2) / d;
+  const double uy = (ab.x * ac2 - ac.x * ab2) / d;
+  return Vec2{a.x + ux, a.y + uy};
+}
+
+std::optional<Circle> circumcircle(Vec2 a, Vec2 b, Vec2 c) {
+  const auto center = circumcenter(a, b, c);
+  if (!center) return std::nullopt;
+  return Circle{*center, dist(*center, a)};
+}
+
+namespace {
+
+Circle circleFrom2(Vec2 a, Vec2 b) { return {midpoint(a, b), dist(a, b) / 2.0}; }
+
+Circle circleFrom3(Vec2 a, Vec2 b, Vec2 c) {
+  if (auto cc = circumcircle(a, b, c)) return *cc;
+  // Collinear: the diametral circle of the farthest pair.
+  Circle best = circleFrom2(a, b);
+  for (const Circle cand : {circleFrom2(a, c), circleFrom2(b, c)}) {
+    if (cand.radius > best.radius) best = cand;
+  }
+  return best;
+}
+
+constexpr double kMecSlack = 1e-10;
+
+bool inCircleLoose(const Circle& c, Vec2 p) {
+  return dist(p, c.center) <= c.radius + kMecSlack;
+}
+
+}  // namespace
+
+Circle smallestEnclosingCircle(std::vector<Vec2> points) {
+  if (points.empty()) return {};
+  std::mt19937 rng(0xC0FFEE);
+  std::shuffle(points.begin(), points.end(), rng);
+
+  Circle c{points[0], 0.0};
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (inCircleLoose(c, points[i])) continue;
+    c = {points[i], 0.0};
+    for (std::size_t j = 0; j < i; ++j) {
+      if (inCircleLoose(c, points[j])) continue;
+      c = circleFrom2(points[i], points[j]);
+      for (std::size_t k = 0; k < j; ++k) {
+        if (inCircleLoose(c, points[k])) continue;
+        c = circleFrom3(points[i], points[j], points[k]);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace hybrid::geom

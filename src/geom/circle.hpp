@@ -1,0 +1,28 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace hybrid::geom {
+
+/// A circle with center and radius.
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  bool contains(Vec2 p) const { return dist2(p, center) <= radius * radius; }
+  bool containsStrict(Vec2 p) const { return dist2(p, center) < radius * radius; }
+};
+
+/// Circumcircle of the triangle (a, b, c); nullopt when collinear.
+std::optional<Circle> circumcircle(Vec2 a, Vec2 b, Vec2 c);
+
+/// Circumcenter of the triangle (a, b, c); nullopt when collinear.
+std::optional<Vec2> circumcenter(Vec2 a, Vec2 b, Vec2 c);
+
+/// Smallest enclosing circle of a point set (Welzl, expected linear time).
+Circle smallestEnclosingCircle(std::vector<Vec2> points);
+
+}  // namespace hybrid::geom

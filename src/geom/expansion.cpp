@@ -1,0 +1,145 @@
+#include "geom/expansion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hybrid::geom {
+
+namespace {
+
+// Knuth's TwoSum: x + y == a + b exactly, x = fl(a+b).
+inline void twoSumCore(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bv = x - a;
+  const double av = x - bv;
+  const double br = b - bv;
+  const double ar = a - av;
+  y = ar + br;
+}
+
+// FastTwoSum requires |a| >= |b|.
+inline void fastTwoSumCore(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bv = x - a;
+  y = b - bv;
+}
+
+// Dekker/FMA TwoProduct: x + y == a * b exactly.
+inline void twoProductCore(double a, double b, double& x, double& y) {
+  x = a * b;
+  y = std::fma(a, b, -x);
+}
+
+// Grow an expansion (nonoverlapping, increasing magnitude) by one double.
+// Output has e.size()+1 components and is again nonoverlapping.
+std::vector<double> growExpansion(const std::vector<double>& e, double b) {
+  std::vector<double> h(e.size() + 1);
+  double q = b;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    double sum = 0.0;
+    double err = 0.0;
+    twoSumCore(q, e[i], sum, err);
+    h[i] = err;
+    q = sum;
+  }
+  h[e.size()] = q;
+  return h;
+}
+
+}  // namespace
+
+Expansion Expansion::twoSum(double a, double b) {
+  double x = 0.0;
+  double y = 0.0;
+  twoSumCore(a, b, x, y);
+  return Expansion(std::vector<double>{y, x});
+}
+
+Expansion Expansion::twoDiff(double a, double b) { return twoSum(a, -b); }
+
+Expansion Expansion::twoProduct(double a, double b) {
+  double x = 0.0;
+  double y = 0.0;
+  twoProductCore(a, b, x, y);
+  return Expansion(std::vector<double>{y, x});
+}
+
+Expansion Expansion::operator+(const Expansion& o) const {
+  // Simple (not linear-time) expansion sum: grow by each component.
+  std::vector<double> acc = comps_;
+  if (acc.empty()) return o;
+  for (double c : o.comps_) acc = growExpansion(acc, c);
+  return Expansion(std::move(acc)).compressed();
+}
+
+Expansion Expansion::operator-(const Expansion& o) const { return *this + (-o); }
+
+Expansion Expansion::operator-() const {
+  std::vector<double> neg(comps_.size());
+  std::transform(comps_.begin(), comps_.end(), neg.begin(), [](double c) { return -c; });
+  return Expansion(std::move(neg));
+}
+
+Expansion Expansion::scale(double b) const {
+  if (comps_.empty() || b == 0.0) return Expansion(0.0);
+  // scale-expansion (Shewchuk): exact product of expansion and double.
+  std::vector<double> h;
+  h.reserve(comps_.size() * 2);
+  double q = 0.0;
+  double hh = 0.0;
+  twoProductCore(comps_[0], b, q, hh);
+  h.push_back(hh);
+  for (std::size_t i = 1; i < comps_.size(); ++i) {
+    double t1 = 0.0;
+    double t0 = 0.0;
+    twoProductCore(comps_[i], b, t1, t0);
+    double sum = 0.0;
+    double err = 0.0;
+    twoSumCore(q, t0, sum, err);
+    h.push_back(err);
+    double newq = 0.0;
+    fastTwoSumCore(t1, sum, newq, err);
+    h.push_back(err);
+    q = newq;
+  }
+  h.push_back(q);
+  return Expansion(std::move(h)).compressed();
+}
+
+Expansion Expansion::operator*(const Expansion& o) const {
+  Expansion acc(0.0);
+  for (double c : o.comps_) acc = acc + scale(c);
+  return acc;
+}
+
+int Expansion::sign() const {
+  // Components are ordered by increasing magnitude; the sign of the largest
+  // nonzero component is the sign of the whole expansion.
+  for (auto it = comps_.rbegin(); it != comps_.rend(); ++it) {
+    if (*it > 0.0) return 1;
+    if (*it < 0.0) return -1;
+  }
+  return 0;
+}
+
+double Expansion::estimate() const {
+  double s = 0.0;
+  for (double c : comps_) s += c;
+  return s;
+}
+
+Expansion Expansion::compressed() const {
+  std::vector<double> nz;
+  nz.reserve(comps_.size());
+  for (double c : comps_) {
+    if (c != 0.0) nz.push_back(c);
+  }
+  if (nz.empty()) nz.push_back(0.0);
+  return Expansion(std::move(nz));
+}
+
+Expansion exactDet2(double a, double b, double c, double d) {
+  return Expansion::twoProduct(a, d) - Expansion::twoProduct(b, c);
+}
+
+}  // namespace hybrid::geom

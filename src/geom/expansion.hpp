@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hybrid::geom {
+
+/// Multi-term floating-point expansion arithmetic (Shewchuk / Priest style).
+///
+/// An expansion represents an exact real number as a sum of doubles whose
+/// significands do not overlap. All operations here are exact provided the
+/// platform implements IEEE-754 double precision with round-to-nearest,
+/// which is what the robust geometric predicates in predicates.cpp rely on.
+///
+/// The representation is a vector of components in increasing order of
+/// magnitude; zero components may appear and are harmless.
+class Expansion {
+ public:
+  Expansion() = default;
+  explicit Expansion(double v) : comps_{v} {}
+
+  /// Exact sum of two doubles as a two-term expansion.
+  static Expansion twoSum(double a, double b);
+  /// Exact difference of two doubles as a two-term expansion.
+  static Expansion twoDiff(double a, double b);
+  /// Exact product of two doubles as a two-term expansion.
+  static Expansion twoProduct(double a, double b);
+
+  /// Exact sum of expansions.
+  Expansion operator+(const Expansion& o) const;
+  /// Exact difference of expansions.
+  Expansion operator-(const Expansion& o) const;
+  /// Exact product with a single double.
+  Expansion scale(double b) const;
+  /// Exact product of expansions (O(n*m) components before compression).
+  Expansion operator*(const Expansion& o) const;
+  Expansion operator-() const;
+
+  /// Sign of the represented value: -1, 0 or +1.
+  int sign() const;
+  /// Approximate double value (sum of components, largest last).
+  double estimate() const;
+  /// Remove zero components and renormalize; keeps the value exact.
+  Expansion compressed() const;
+
+  std::size_t size() const { return comps_.size(); }
+  const std::vector<double>& components() const { return comps_; }
+
+ private:
+  explicit Expansion(std::vector<double> comps) : comps_(std::move(comps)) {}
+  std::vector<double> comps_;
+};
+
+/// det2(a,b,c,d) = a*d - b*c computed exactly.
+Expansion exactDet2(double a, double b, double c, double d);
+
+}  // namespace hybrid::geom

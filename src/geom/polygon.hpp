@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+
+namespace hybrid::geom {
+
+/// A simple polygon given by its vertex ring (no repeated first vertex).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> vertices) : verts_(std::move(vertices)) {}
+
+  const std::vector<Vec2>& vertices() const { return verts_; }
+  std::size_t size() const { return verts_.size(); }
+  bool empty() const { return verts_.empty(); }
+  Vec2 vertex(std::size_t i) const { return verts_[i % verts_.size()]; }
+  Segment edge(std::size_t i) const { return {vertex(i), vertex(i + 1)}; }
+
+  /// Twice the signed area; positive for counter-clockwise rings.
+  double signedArea2() const;
+  double area() const { return std::abs(signedArea2()) / 2.0; }
+  bool isCounterClockwise() const { return signedArea2() > 0.0; }
+  double perimeter() const;
+  BBox boundingBox() const { return BBox::of(verts_); }
+  Vec2 centroid() const;
+  bool isConvex() const;
+
+  /// Reverses the vertex order (flips orientation).
+  void reverse();
+
+  /// True if p is inside or on the boundary.
+  bool contains(Vec2 p) const;
+  /// True if p is strictly interior.
+  bool containsStrict(Vec2 p) const;
+  /// True if p lies on an edge or vertex.
+  bool onBoundary(Vec2 p) const;
+
+  /// True if the open segment (s.a, s.b) passes through the polygon's
+  /// strict interior. Touching the boundary (including sliding along an
+  /// edge or grazing a vertex) does not count. This is the notion of
+  /// "the segment intersects the hole" used for visibility.
+  bool segmentIntersectsInterior(const Segment& s) const;
+
+ private:
+  std::vector<Vec2> verts_;
+};
+
+/// Convex hull of a point set (monotone chain). Returns the hull vertices in
+/// counter-clockwise order with collinear points dropped (strictly convex).
+std::vector<Vec2> convexHull(std::vector<Vec2> points);
+
+/// Convex hull returning indices into `points`, counter-clockwise,
+/// strictly convex.
+std::vector<int> convexHullIndices(const std::vector<Vec2>& points);
+
+/// Convex hull of the union of two convex polygons (used by the
+/// distributed divide-and-conquer hull merge).
+std::vector<Vec2> mergeConvexHulls(const std::vector<Vec2>& a, const std::vector<Vec2>& b);
+
+}  // namespace hybrid::geom

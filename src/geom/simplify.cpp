@@ -1,0 +1,89 @@
+#include "geom/simplify.hpp"
+
+#include <algorithm>
+
+#include "geom/segment.hpp"
+
+namespace hybrid::geom {
+
+namespace {
+
+void dpRecurse(const std::vector<Vec2>& pts, int lo, int hi, double eps,
+               std::vector<char>& keep) {
+  if (hi - lo < 2) return;
+  const Segment chord{pts[static_cast<std::size_t>(lo)], pts[static_cast<std::size_t>(hi)]};
+  double worst = -1.0;
+  int worstIdx = -1;
+  for (int i = lo + 1; i < hi; ++i) {
+    const double d = pointSegmentDistance(pts[static_cast<std::size_t>(i)], chord);
+    if (d > worst) {
+      worst = d;
+      worstIdx = i;
+    }
+  }
+  if (worst > eps) {
+    keep[static_cast<std::size_t>(worstIdx)] = 1;
+    dpRecurse(pts, lo, worstIdx, eps, keep);
+    dpRecurse(pts, worstIdx, hi, eps, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<int> douglasPeucker(const std::vector<Vec2>& points, double epsilon) {
+  const int n = static_cast<int>(points.size());
+  if (n <= 2) {
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    return all;
+  }
+  std::vector<char> keep(points.size(), 0);
+  keep.front() = 1;
+  keep.back() = 1;
+  dpRecurse(points, 0, n - 1, epsilon, keep);
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    if (keep[static_cast<std::size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> douglasPeuckerRing(const std::vector<Vec2>& ring, double epsilon) {
+  const int n = static_cast<int>(ring.size());
+  if (n <= 3) {
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    return all;
+  }
+  // Anchor at the two mutually farthest vertices so both halves are
+  // meaningful polylines.
+  int a = 0;
+  int b = n / 2;
+  double best = -1.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = dist2(ring[static_cast<std::size_t>(i)],
+                             ring[static_cast<std::size_t>(j)]);
+      if (d > best) {
+        best = d;
+        a = i;
+        b = j;
+      }
+    }
+  }
+  // Half 1: a..b; half 2: b..a (wrapping).
+  std::vector<Vec2> half1(ring.begin() + a, ring.begin() + b + 1);
+  std::vector<Vec2> half2;
+  for (int i = b; i != a; i = (i + 1) % n) half2.push_back(ring[static_cast<std::size_t>(i)]);
+  half2.push_back(ring[static_cast<std::size_t>(a)]);
+
+  std::vector<int> out;
+  for (int idx : douglasPeucker(half1, epsilon)) out.push_back(a + idx);
+  const auto second = douglasPeucker(half2, epsilon);
+  for (std::size_t k = 1; k + 1 < second.size(); ++k) {
+    out.push_back((b + second[k]) % n);
+  }
+  return out;
+}
+
+}  // namespace hybrid::geom

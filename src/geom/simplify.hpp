@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace hybrid::geom {
+
+/// Douglas-Peucker polyline simplification: keeps the subsequence of
+/// `points` whose removal would displace the line by more than `epsilon`.
+/// Endpoints are always kept. Returns indices into `points`, ascending.
+std::vector<int> douglasPeucker(const std::vector<Vec2>& points, double epsilon);
+
+/// Closed-ring variant: splits the ring at its two mutually farthest
+/// vertices, simplifies both halves and stitches them back together.
+/// Returns indices into `ring`, in ring order.
+std::vector<int> douglasPeuckerRing(const std::vector<Vec2>& ring, double epsilon);
+
+}  // namespace hybrid::geom

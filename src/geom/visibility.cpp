@@ -1,0 +1,38 @@
+#include "geom/visibility.hpp"
+
+#include <algorithm>
+
+namespace hybrid::geom {
+
+int VisibilityContext::blockingObstacle(Vec2 a, Vec2 b) const {
+  BBox segBox;
+  segBox.expand(a);
+  segBox.expand(b);
+  const Segment s{a, b};
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    if (!segBox.intersects(boxes_[i])) continue;
+    if (obstacles_[i].segmentIntersectsInterior(s)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool VisibilityContext::visible(Vec2 a, Vec2 b) const {
+  return blockingObstacle(a, b) < 0;
+}
+
+std::vector<std::vector<int>> buildVisibilityAdjacency(
+    const std::vector<Vec2>& sites, const VisibilityContext& ctx) {
+  const std::size_t n = sites.size();
+  std::vector<std::vector<int>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (ctx.visible(sites[i], sites[j])) {
+        adj[i].push_back(static_cast<int>(j));
+        adj[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return adj;
+}
+
+}  // namespace hybrid::geom

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "geom/vec2.hpp"
+
+namespace hybrid::geom {
+
+/// Visibility with respect to a set of polygonal obstacles (the radio
+/// holes). Two points are visible from each other iff their open segment
+/// does not pass through the strict interior of any obstacle.
+class VisibilityContext {
+ public:
+  explicit VisibilityContext(std::vector<Polygon> obstacles)
+      : obstacles_(std::move(obstacles)) {
+    boxes_.reserve(obstacles_.size());
+    for (const auto& p : obstacles_) boxes_.push_back(p.boundingBox());
+  }
+
+  const std::vector<Polygon>& obstacles() const { return obstacles_; }
+
+  bool visible(Vec2 a, Vec2 b) const;
+
+  /// Index of the first obstacle (in storage order) whose interior the
+  /// segment a->b crosses, or -1 if fully visible.
+  int blockingObstacle(Vec2 a, Vec2 b) const;
+
+ private:
+  std::vector<Polygon> obstacles_;
+  std::vector<BBox> boxes_;
+};
+
+/// Dense visibility graph over `sites` with respect to `obstacles`:
+/// adjacency[i] lists the indices j visible from i, and the matching
+/// Euclidean edge lengths are left to the caller. O(|sites|^2 * edges).
+std::vector<std::vector<int>> buildVisibilityAdjacency(
+    const std::vector<Vec2>& sites, const VisibilityContext& ctx);
+
+}  // namespace hybrid::geom

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+namespace hybrid::graph {
+
+/// Disjoint-set union with path compression and union by size.
+class DisjointSetUnion {
+ public:
+  explicit DisjointSetUnion(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int v) {
+    while (parent_[static_cast<std::size_t>(v)] != v) {
+      parent_[static_cast<std::size_t>(v)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])];
+      v = parent_[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+
+  /// Returns true if the sets were distinct and are now merged.
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+    return true;
+  }
+
+  bool same(int a, int b) { return find(a) == find(b); }
+  int setSize(int v) { return size_[static_cast<std::size_t>(find(v))]; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace hybrid::graph

@@ -1,0 +1,109 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "geom/segment.hpp"
+
+namespace hybrid::graph {
+
+void GeometricGraph::addEdge(NodeId u, NodeId v) {
+  if (u == v || hasEdge(u, v)) return;
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+bool GeometricGraph::hasEdge(NodeId u, NodeId v) const {
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+void GeometricGraph::removeEdge(NodeId u, NodeId v) {
+  auto& a = adj_[static_cast<std::size_t>(u)];
+  auto& b = adj_[static_cast<std::size_t>(v)];
+  a.erase(std::remove(a.begin(), a.end(), v), a.end());
+  b.erase(std::remove(b.begin(), b.end(), u), b.end());
+}
+
+std::size_t GeometricGraph::numEdges() const {
+  std::size_t twice = 0;
+  for (const auto& a : adj_) twice += a.size();
+  return twice / 2;
+}
+
+int GeometricGraph::maxDegree() const {
+  std::size_t d = 0;
+  for (const auto& a : adj_) d = std::max(d, a.size());
+  return static_cast<int>(d);
+}
+
+std::vector<std::pair<NodeId, NodeId>> GeometricGraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(numEdges());
+  for (NodeId u = 0; u < static_cast<NodeId>(numNodes()); ++u) {
+    for (NodeId v : adj_[static_cast<std::size_t>(u)]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+double GeometricGraph::pathLength(std::span<const NodeId> path) const {
+  if (path.empty()) return std::numeric_limits<double>::infinity();
+  double len = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    len += edgeLength(path[i], path[i + 1]);
+  }
+  return len;
+}
+
+std::vector<int> GeometricGraph::componentLabels(int* numComponents) const {
+  std::vector<int> label(numNodes(), -1);
+  int next = 0;
+  std::queue<NodeId> q;
+  for (NodeId s = 0; s < static_cast<NodeId>(numNodes()); ++s) {
+    if (label[static_cast<std::size_t>(s)] != -1) continue;
+    label[static_cast<std::size_t>(s)] = next;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (NodeId v : adj_[static_cast<std::size_t>(u)]) {
+        if (label[static_cast<std::size_t>(v)] == -1) {
+          label[static_cast<std::size_t>(v)] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (numComponents != nullptr) *numComponents = next;
+  return label;
+}
+
+bool GeometricGraph::isConnected() const {
+  if (numNodes() == 0) return true;
+  int k = 0;
+  componentLabels(&k);
+  return k == 1;
+}
+
+bool GeometricGraph::isPlanarEmbedding() const {
+  const auto es = edges();
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const geom::Segment si{position(es[i].first), position(es[i].second)};
+    for (std::size_t j = i + 1; j < es.size(); ++j) {
+      // Edges sharing an endpoint may touch there; that is fine.
+      if (es[i].first == es[j].first || es[i].first == es[j].second ||
+          es[i].second == es[j].first || es[i].second == es[j].second) {
+        continue;
+      }
+      const geom::Segment sj{position(es[j].first), position(es[j].second)};
+      if (geom::segmentsInteriorsIntersect(si, sj)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hybrid::graph

@@ -1,0 +1,76 @@
+#include "graph/planar_faces.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "geom/angle.hpp"
+
+namespace hybrid::graph {
+
+namespace {
+
+// For every node, its neighbors sorted counter-clockwise by direction angle.
+std::vector<std::vector<NodeId>> sortedNeighborhoods(const GeometricGraph& g) {
+  std::vector<std::vector<NodeId>> sorted(g.numNodes());
+  for (NodeId u = 0; u < static_cast<NodeId>(g.numNodes()); ++u) {
+    auto nbrs = g.neighbors(u);
+    std::vector<NodeId> s(nbrs.begin(), nbrs.end());
+    const geom::Vec2 pu = g.position(u);
+    std::sort(s.begin(), s.end(), [&](NodeId a, NodeId b) {
+      return geom::directionAngle(pu, g.position(a)) <
+             geom::directionAngle(pu, g.position(b));
+    });
+    sorted[static_cast<std::size_t>(u)] = std::move(s);
+  }
+  return sorted;
+}
+
+}  // namespace
+
+std::vector<Face> enumerateFaces(const GeometricGraph& g) {
+  const auto sorted = sortedNeighborhoods(g);
+
+  // Position of each directed edge (u, v) within u's sorted neighborhood.
+  std::map<std::pair<NodeId, NodeId>, int> slot;
+  for (NodeId u = 0; u < static_cast<NodeId>(g.numNodes()); ++u) {
+    const auto& s = sorted[static_cast<std::size_t>(u)];
+    for (int i = 0; i < static_cast<int>(s.size()); ++i) slot[{u, s[i]}] = i;
+  }
+
+  std::map<std::pair<NodeId, NodeId>, bool> used;
+  std::vector<Face> faces;
+
+  for (NodeId u = 0; u < static_cast<NodeId>(g.numNodes()); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (used[{u, v}]) continue;
+      // Walk the face on the left of (u, v): at each arrival over (a, b),
+      // leave b over the clockwise predecessor of a in b's ccw ordering.
+      Face f;
+      NodeId a = u;
+      NodeId b = v;
+      while (!used[{a, b}]) {
+        used[{a, b}] = true;
+        f.cycle.push_back(a);
+        const auto& s = sorted[static_cast<std::size_t>(b)];
+        const int idx = slot.at({b, a});
+        const int next = (idx - 1 + static_cast<int>(s.size())) % static_cast<int>(s.size());
+        a = b;
+        b = s[static_cast<std::size_t>(next)];
+      }
+      double area2 = 0.0;
+      for (std::size_t i = 0; i < f.cycle.size(); ++i) {
+        const geom::Vec2 p = g.position(f.cycle[i]);
+        const geom::Vec2 q = g.position(f.cycle[(i + 1) % f.cycle.size()]);
+        area2 += p.cross(q);
+      }
+      f.signedArea2 = area2;
+      f.outer = area2 < 0.0;
+      faces.push_back(std::move(f));
+    }
+  }
+  return faces;
+}
+
+}  // namespace hybrid::graph

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hybrid::graph {
+
+/// A face of a planar straight-line embedded graph, given as the cyclic
+/// sequence of vertices along its boundary walk. For a connected planar
+/// embedding, bounded faces are reported counter-clockwise and the single
+/// unbounded (outer) face clockwise. Vertices can repeat along a walk when
+/// the boundary passes through a cut vertex.
+struct Face {
+  std::vector<NodeId> cycle;
+  double signedArea2 = 0.0;  ///< Twice the signed area of the boundary walk.
+  bool outer = false;        ///< True for the unbounded face.
+};
+
+/// Enumerates all faces of the embedding via next-edge-around-vertex
+/// traversal. The graph must be a planar straight-line embedding (no two
+/// edges crossing); otherwise the result is meaningless.
+std::vector<Face> enumerateFaces(const GeometricGraph& g);
+
+}  // namespace hybrid::graph

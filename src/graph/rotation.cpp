@@ -1,0 +1,81 @@
+#include "graph/rotation.hpp"
+
+#include <algorithm>
+
+#include "geom/angle.hpp"
+
+namespace hybrid::graph {
+
+RotationSystem::RotationSystem(const GeometricGraph& g) : g_(g) {
+  order_.resize(g.numNodes());
+  for (NodeId v = 0; v < static_cast<NodeId>(g.numNodes()); ++v) {
+    auto nbrs = g.neighbors(v);
+    std::vector<NodeId> sorted(nbrs.begin(), nbrs.end());
+    const geom::Vec2 pv = g.position(v);
+    std::sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+      return geom::directionAngle(pv, g.position(a)) <
+             geom::directionAngle(pv, g.position(b));
+    });
+    order_[static_cast<std::size_t>(v)] = std::move(sorted);
+  }
+}
+
+int RotationSystem::indexOf(NodeId at, NodeId nb) const {
+  const auto& o = order_[static_cast<std::size_t>(at)];
+  const auto it = std::find(o.begin(), o.end(), nb);
+  return it == o.end() ? -1 : static_cast<int>(it - o.begin());
+}
+
+NodeId RotationSystem::nextCcw(NodeId at, NodeId from) const {
+  const auto& o = order_[static_cast<std::size_t>(at)];
+  const int i = indexOf(at, from);
+  if (i < 0 || o.empty()) return -1;
+  return o[static_cast<std::size_t>((i + 1) % static_cast<int>(o.size()))];
+}
+
+NodeId RotationSystem::nextCw(NodeId at, NodeId from) const {
+  const auto& o = order_[static_cast<std::size_t>(at)];
+  const int i = indexOf(at, from);
+  if (i < 0 || o.empty()) return -1;
+  const int n = static_cast<int>(o.size());
+  return o[static_cast<std::size_t>((i - 1 + n) % n)];
+}
+
+NodeId RotationSystem::firstCw(NodeId at, geom::Vec2 towards) const {
+  const auto& o = order_[static_cast<std::size_t>(at)];
+  if (o.empty()) return -1;
+  const geom::Vec2 pa = g_.position(at);
+  const double ref = geom::directionAngle(pa, towards);
+  // Largest neighbor angle <= ref (wrapping): the first one sweeping cw.
+  NodeId best = -1;
+  double bestGap = 1e18;
+  for (NodeId nb : o) {
+    double gap = ref - geom::directionAngle(pa, g_.position(nb));
+    if (gap < 0) gap += 2.0 * 3.141592653589793;
+    if (gap < bestGap) {
+      bestGap = gap;
+      best = nb;
+    }
+  }
+  return best;
+}
+
+NodeId RotationSystem::firstCcw(NodeId at, geom::Vec2 towards) const {
+  const auto& o = order_[static_cast<std::size_t>(at)];
+  if (o.empty()) return -1;
+  const geom::Vec2 pa = g_.position(at);
+  const double ref = geom::directionAngle(pa, towards);
+  NodeId best = -1;
+  double bestGap = 1e18;
+  for (NodeId nb : o) {
+    double gap = geom::directionAngle(pa, g_.position(nb)) - ref;
+    if (gap < 0) gap += 2.0 * 3.141592653589793;
+    if (gap < bestGap) {
+      bestGap = gap;
+      best = nb;
+    }
+  }
+  return best;
+}
+
+}  // namespace hybrid::graph

@@ -1,0 +1,119 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace hybrid::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<NodeId> ShortestPathTree::pathTo(NodeId target) const {
+  const auto t = static_cast<std::size_t>(target);
+  if (t >= dist.size() || dist[t] == kInf) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != -1; v = pred[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const GeometricGraph& g, NodeId source, NodeId target) {
+  const std::size_t n = g.numNodes();
+  ShortestPathTree out;
+  out.dist.assign(n, kInf);
+  out.pred.assign(n, -1);
+  out.dist[static_cast<std::size_t>(source)] = 0.0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > out.dist[static_cast<std::size_t>(u)]) continue;
+    if (u == target) break;
+    for (NodeId v : g.neighbors(u)) {
+      const double nd = d + g.edgeLength(u, v);
+      if (nd < out.dist[static_cast<std::size_t>(v)]) {
+        out.dist[static_cast<std::size_t>(v)] = nd;
+        out.pred[static_cast<std::size_t>(v)] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> astarPath(const GeometricGraph& g, NodeId source, NodeId target) {
+  const std::size_t n = g.numNodes();
+  std::vector<double> gScore(n, kInf);
+  std::vector<NodeId> pred(n, -1);
+  std::vector<bool> closed(n, false);
+  gScore[static_cast<std::size_t>(source)] = 0.0;
+
+  const geom::Vec2 tp = g.position(target);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> open;
+  open.emplace(geom::dist(g.position(source), tp), source);
+
+  while (!open.empty()) {
+    const NodeId u = open.top().second;
+    open.pop();
+    if (closed[static_cast<std::size_t>(u)]) continue;
+    closed[static_cast<std::size_t>(u)] = true;
+    if (u == target) break;
+    for (NodeId v : g.neighbors(u)) {
+      if (closed[static_cast<std::size_t>(v)]) continue;
+      const double nd = gScore[static_cast<std::size_t>(u)] + g.edgeLength(u, v);
+      if (nd < gScore[static_cast<std::size_t>(v)]) {
+        gScore[static_cast<std::size_t>(v)] = nd;
+        pred[static_cast<std::size_t>(v)] = u;
+        open.emplace(nd + geom::dist(g.position(v), tp), v);
+      }
+    }
+  }
+  if (gScore[static_cast<std::size_t>(target)] == kInf) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != -1; v = pred[static_cast<std::size_t>(v)]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double shortestPathLength(const GeometricGraph& g, NodeId source, NodeId target) {
+  return dijkstra(g, source, target).dist[static_cast<std::size_t>(target)];
+}
+
+std::vector<int> bfsHops(const GeometricGraph& g, NodeId source, int maxHops) {
+  std::vector<int> hops(g.numNodes(), -1);
+  hops[static_cast<std::size_t>(source)] = 0;
+  std::queue<NodeId> q;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    const int hu = hops[static_cast<std::size_t>(u)];
+    if (maxHops >= 0 && hu >= maxHops) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (hops[static_cast<std::size_t>(v)] == -1) {
+        hops[static_cast<std::size_t>(v)] = hu + 1;
+        q.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<NodeId> kHopNeighborhood(const GeometricGraph& g, NodeId source, int k) {
+  const auto hops = bfsHops(g, source, k);
+  std::vector<NodeId> out;
+  for (std::size_t v = 0; v < hops.size(); ++v) {
+    if (hops[v] >= 0) out.push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+}  // namespace hybrid::graph

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hybrid::graph {
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPathTree {
+  std::vector<double> dist;  ///< Euclidean distance from the source; +inf if unreachable.
+  std::vector<NodeId> pred;  ///< Predecessor on a shortest path; -1 at source/unreachable.
+
+  /// Reconstructs the source->target node path; empty if unreachable.
+  std::vector<NodeId> pathTo(NodeId target) const;
+};
+
+/// Dijkstra with Euclidean edge weights from `source`. If `target` >= 0 the
+/// search stops once the target is settled.
+ShortestPathTree dijkstra(const GeometricGraph& g, NodeId source, NodeId target = -1);
+
+/// A* with Euclidean heuristic; returns the node path (empty if unreachable).
+std::vector<NodeId> astarPath(const GeometricGraph& g, NodeId source, NodeId target);
+
+/// Euclidean length of the shortest path, +inf if unreachable.
+double shortestPathLength(const GeometricGraph& g, NodeId source, NodeId target);
+
+/// BFS hop distances from `source` (-1 if unreachable). `maxHops` < 0 means
+/// unbounded; otherwise exploration stops beyond that many hops.
+std::vector<int> bfsHops(const GeometricGraph& g, NodeId source, int maxHops = -1);
+
+/// Nodes within `k` hops of `source`, including the source itself.
+std::vector<NodeId> kHopNeighborhood(const GeometricGraph& g, NodeId source, int k);
+
+}  // namespace hybrid::graph

@@ -1,0 +1,104 @@
+#include "holes/hole_detection.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/planar_faces.hpp"
+
+namespace hybrid::holes {
+
+namespace {
+
+geom::Polygon ringPolygon(const graph::GeometricGraph& g,
+                          const std::vector<graph::NodeId>& ring) {
+  std::vector<geom::Vec2> pts;
+  pts.reserve(ring.size());
+  for (graph::NodeId v : ring) pts.push_back(g.position(v));
+  return geom::Polygon(std::move(pts));
+}
+
+std::size_t distinctCount(const std::vector<graph::NodeId>& ring) {
+  std::set<graph::NodeId> s(ring.begin(), ring.end());
+  return s.size();
+}
+
+}  // namespace
+
+std::vector<geom::Polygon> HoleAnalysis::holePolygons() const {
+  std::vector<geom::Polygon> out;
+  out.reserve(holes.size());
+  for (const Hole& h : holes) out.push_back(h.polygon);
+  return out;
+}
+
+HoleAnalysis detectHoles(const graph::GeometricGraph& ldel, double radius) {
+  HoleAnalysis out;
+  out.isHoleNode.assign(ldel.numNodes(), 0);
+  out.holesOfNode.assign(ldel.numNodes(), {});
+
+  // Inner holes: bounded faces with >= 4 distinct nodes.
+  const auto faces = graph::enumerateFaces(ldel);
+  for (const auto& f : faces) {
+    if (f.outer) {
+      // The outer face of the (connected) LDel graph: keep the largest walk
+      // in case isolated components produce several outer walks.
+      if (f.cycle.size() > out.outerBoundary.size()) out.outerBoundary = f.cycle;
+      continue;
+    }
+    if (distinctCount(f.cycle) < 4) continue;
+    Hole h;
+    h.ring = f.cycle;
+    h.polygon = ringPolygon(ldel, h.ring);
+    h.outer = false;
+    out.holes.push_back(std::move(h));
+  }
+
+  // Outer holes: augment with the convex hull of V and look for bounded
+  // faces that use a hull edge longer than the radius.
+  const auto hullIdx = geom::convexHullIndices(ldel.positions());
+  std::set<std::pair<graph::NodeId, graph::NodeId>> longHullEdges;
+  graph::GeometricGraph augmented = ldel;
+  for (std::size_t i = 0; i < hullIdx.size(); ++i) {
+    const graph::NodeId a = hullIdx[i];
+    const graph::NodeId b = hullIdx[(i + 1) % hullIdx.size()];
+    if (augmented.edgeLength(a, b) > radius && !augmented.hasEdge(a, b)) {
+      augmented.addEdge(a, b);
+      longHullEdges.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+  if (!longHullEdges.empty()) {
+    for (const auto& f : graph::enumerateFaces(augmented)) {
+      if (f.outer || distinctCount(f.cycle) < 3) continue;
+      bool usesLongHullEdge = false;
+      for (std::size_t i = 0; i < f.cycle.size(); ++i) {
+        graph::NodeId a = f.cycle[i];
+        graph::NodeId b = f.cycle[(i + 1) % f.cycle.size()];
+        if (a > b) std::swap(a, b);
+        if (longHullEdges.contains({a, b})) {
+          usesLongHullEdge = true;
+          break;
+        }
+      }
+      if (!usesLongHullEdge) continue;
+      // Skip plain triangles of the original graph (all edges real & short).
+      Hole h;
+      h.ring = f.cycle;
+      h.polygon = ringPolygon(ldel, h.ring);
+      h.outer = true;
+      out.holes.push_back(std::move(h));
+    }
+  }
+
+  for (std::size_t hi = 0; hi < out.holes.size(); ++hi) {
+    for (graph::NodeId v : out.holes[hi].ring) {
+      out.isHoleNode[static_cast<std::size_t>(v)] = 1;
+      auto& list = out.holesOfNode[static_cast<std::size_t>(v)];
+      if (list.empty() || list.back() != static_cast<int>(hi)) {
+        list.push_back(static_cast<int>(hi));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hybrid::holes

@@ -1,0 +1,85 @@
+#include "io/animation.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hybrid::io {
+
+namespace {
+
+void writePoints(std::ostream& os, const std::vector<geom::Vec2>& pts) {
+  os << '[';
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[' << pts[i].x << ',' << pts[i].y << ']';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+bool AnimationExporter::save(const std::string& path, const std::string& title) const {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  std::ostringstream data;
+  data << '[';
+  for (std::size_t f = 0; f < frames_.size(); ++f) {
+    const Frame& fr = frames_[f];
+    if (f > 0) data << ',';
+    data << "{\"nodes\":";
+    writePoints(data, fr.nodes);
+    data << ",\"holes\":[";
+    for (std::size_t h = 0; h < fr.holes.size(); ++h) {
+      if (h > 0) data << ',';
+      writePoints(data, fr.holes[h].vertices());
+    }
+    data << "],\"route\":";
+    writePoints(data, fr.route);
+    data << ",\"caption\":\"" << fr.caption << "\"}";
+  }
+  data << ']';
+
+  out << "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>" << title
+      << "</title></head><body style=\"font-family:sans-serif;background:#fafafa\">\n"
+      << "<h3>" << title << "</h3>\n"
+      << "<canvas id=\"c\" width=\"760\" height=\"760\" "
+         "style=\"border:1px solid #ccc;background:#fff\"></canvas>\n"
+      << "<div><button onclick=\"playing=!playing\">play/pause</button> "
+         "<span id=\"cap\"></span></div>\n"
+      << "<script>\n"
+      << "const W=" << width_ << ", H=" << height_ << ";\n"
+      << "const frames=" << data.str() << ";\n"
+      << R"JS(
+const cv = document.getElementById('c'), ctx = cv.getContext('2d');
+const sx = p => p[0] / W * cv.width, sy = p => (1 - p[1] / H) * cv.height;
+let i = 0, playing = true;
+function draw() {
+  const f = frames[i];
+  ctx.clearRect(0, 0, cv.width, cv.height);
+  ctx.fillStyle = 'rgba(217,100,89,0.25)';
+  ctx.strokeStyle = '#d96459';
+  for (const hole of f.holes) {
+    ctx.beginPath();
+    hole.forEach((p, k) => k ? ctx.lineTo(sx(p), sy(p)) : ctx.moveTo(sx(p), sy(p)));
+    ctx.closePath(); ctx.fill(); ctx.stroke();
+  }
+  ctx.fillStyle = '#5a5a5a';
+  for (const p of f.nodes) ctx.fillRect(sx(p) - 1, sy(p) - 1, 2, 2);
+  if (f.route.length > 1) {
+    ctx.strokeStyle = '#2c8a4b'; ctx.lineWidth = 2;
+    ctx.beginPath();
+    f.route.forEach((p, k) => k ? ctx.lineTo(sx(p), sy(p)) : ctx.moveTo(sx(p), sy(p)));
+    ctx.stroke(); ctx.lineWidth = 1;
+  }
+  document.getElementById('cap').textContent =
+      'frame ' + (i + 1) + '/' + frames.length + '  ' + f.caption;
+}
+setInterval(() => { if (playing) { i = (i + 1) % frames.length; draw(); } }, 700);
+draw();
+)JS"
+      << "</script></body></html>\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace hybrid::io

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "graph/graph.hpp"
+
+namespace hybrid::io {
+
+/// Records a sequence of dynamic-scenario frames (node positions, hole
+/// polygons, an optional route) and writes a self-contained HTML page with
+/// a canvas player — the visual companion to the §6 mobility experiments.
+class AnimationExporter {
+ public:
+  AnimationExporter(double width, double height) : width_(width), height_(height) {}
+
+  struct Frame {
+    std::vector<geom::Vec2> nodes;
+    std::vector<geom::Polygon> holes;
+    std::vector<geom::Vec2> route;
+    std::string caption;
+  };
+
+  void addFrame(Frame frame) { frames_.push_back(std::move(frame)); }
+  std::size_t numFrames() const { return frames_.size(); }
+
+  /// Writes the HTML document; false on I/O failure.
+  bool save(const std::string& path, const std::string& title = "hybridrouting") const;
+
+ private:
+  double width_;
+  double height_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace hybrid::io

@@ -1,0 +1,93 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace hybrid::io {
+
+namespace {
+
+// Next non-empty, non-comment line.
+bool nextLine(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void writeScenario(std::ostream& os, const scenario::Scenario& sc) {
+  os << "scenario v1\n";
+  os << std::setprecision(17);
+  os << "radius " << sc.radius << "\n";
+  os << "points " << sc.points.size() << "\n";
+  for (const auto& p : sc.points) os << p.x << ' ' << p.y << "\n";
+  for (const auto& obs : sc.obstacles) {
+    os << "obstacle " << obs.size() << "\n";
+    for (const auto& v : obs.vertices()) os << v.x << ' ' << v.y << "\n";
+  }
+}
+
+bool saveScenario(const std::string& path, const scenario::Scenario& sc) {
+  std::ofstream out(path);
+  if (!out) return false;
+  writeScenario(out, sc);
+  return static_cast<bool>(out);
+}
+
+std::optional<scenario::Scenario> readScenario(std::istream& is) {
+  std::string line;
+  if (!nextLine(is, line) || line.rfind("scenario v1", 0) != 0) return std::nullopt;
+
+  scenario::Scenario sc;
+  while (nextLine(is, line)) {
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "radius") {
+      if (!(ls >> sc.radius) || sc.radius <= 0.0) return std::nullopt;
+    } else if (kind == "points") {
+      std::size_t n = 0;
+      if (!(ls >> n)) return std::nullopt;
+      sc.points.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!nextLine(is, line)) return std::nullopt;
+        std::istringstream ps(line);
+        geom::Vec2 p;
+        if (!(ps >> p.x >> p.y)) return std::nullopt;
+        sc.points.push_back(p);
+      }
+    } else if (kind == "obstacle") {
+      std::size_t k = 0;
+      if (!(ls >> k) || k < 3) return std::nullopt;
+      std::vector<geom::Vec2> verts;
+      verts.reserve(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (!nextLine(is, line)) return std::nullopt;
+        std::istringstream ps(line);
+        geom::Vec2 p;
+        if (!(ps >> p.x >> p.y)) return std::nullopt;
+        verts.push_back(p);
+      }
+      sc.obstacles.emplace_back(std::move(verts));
+    } else {
+      return std::nullopt;  // unknown directive
+    }
+  }
+  if (sc.points.empty()) return std::nullopt;
+  return sc;
+}
+
+std::optional<scenario::Scenario> loadScenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return readScenario(in);
+}
+
+}  // namespace hybrid::io

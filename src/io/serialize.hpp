@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "scenario/generator.hpp"
+
+namespace hybrid::io {
+
+/// Plain-text scenario serialization, for sharing deployments between the
+/// CLI, experiments and external tools.
+///
+/// Format (line oriented, '#' comments allowed):
+///   scenario v1
+///   radius <r>
+///   points <n>
+///   <x> <y>           (n lines)
+///   obstacle <k>      (repeated per obstacle)
+///   <x> <y>           (k lines)
+void writeScenario(std::ostream& os, const scenario::Scenario& sc);
+bool saveScenario(const std::string& path, const scenario::Scenario& sc);
+
+/// Parses the format above; returns nullopt on malformed input.
+std::optional<scenario::Scenario> readScenario(std::istream& is);
+std::optional<scenario::Scenario> loadScenario(const std::string& path);
+
+}  // namespace hybrid::io

@@ -1,0 +1,108 @@
+#include "io/svg_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hybrid::io {
+
+SvgExporter::SvgExporter(const core::HybridNetwork& net, double scale)
+    : net_(net), scale_(scale) {
+  box_ = geom::BBox::of(net.ldel().positions());
+  const double pad = 1.0;
+  box_.expand({box_.lo.x - pad, box_.lo.y - pad});
+  box_.expand({box_.hi.x + pad, box_.hi.y + pad});
+}
+
+std::string SvgExporter::pointStr(geom::Vec2 p) const {
+  // SVG y grows downward; flip so the plot matches math coordinates.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f,%.2f", (p.x - box_.lo.x) * scale_,
+                (box_.hi.y - p.y) * scale_);
+  return buf;
+}
+
+void SvgExporter::polyline(const std::vector<geom::Vec2>& pts, const std::string& stroke,
+                           double width, bool closed, const std::string& fill) {
+  std::ostringstream os;
+  os << (closed ? "<polygon" : "<polyline") << " points=\"";
+  for (const auto& p : pts) os << pointStr(p) << ' ';
+  os << "\" fill=\"" << fill << "\" stroke=\"" << stroke << "\" stroke-width=\"" << width
+     << "\"/>\n";
+  body_ += os.str();
+}
+
+SvgExporter& SvgExporter::drawNetwork(bool drawNodes) {
+  for (const auto& [u, v] : net_.ldel().edges()) {
+    polyline({net_.ldel().position(u), net_.ldel().position(v)}, "#c8c8c8", 0.6, false);
+  }
+  if (drawNodes) {
+    for (const auto& p : net_.ldel().positions()) {
+      std::ostringstream c;
+      c << "<circle cx=\"" << (p.x - box_.lo.x) * scale_ << "\" cy=\""
+        << (box_.hi.y - p.y) * scale_ << "\" r=\"1.4\" fill=\"#5a5a5a\"/>\n";
+      body_ += c.str();
+    }
+  }
+  return *this;
+}
+
+SvgExporter& SvgExporter::drawHoles() {
+  for (const auto& h : net_.holes().holes) {
+    polyline(h.polygon.vertices(), h.outer ? "#e8b04c" : "#d96459", 1.2, true,
+             h.outer ? "rgba(232,176,76,0.25)" : "rgba(217,100,89,0.25)");
+  }
+  return *this;
+}
+
+SvgExporter& SvgExporter::drawAbstractions() {
+  for (const auto& a : net_.abstractions()) {
+    if (a.hullPolygon.size() < 3) continue;
+    polyline(a.hullPolygon.vertices(), "#3166a8", 1.6, true);
+    for (const auto& p : a.hullPolygon.vertices()) {
+      std::ostringstream c;
+      c << "<circle cx=\"" << (p.x - box_.lo.x) * scale_ << "\" cy=\""
+        << (box_.hi.y - p.y) * scale_ << "\" r=\"3.0\" fill=\"#3166a8\"/>\n";
+      body_ += c.str();
+    }
+  }
+  return *this;
+}
+
+SvgExporter& SvgExporter::drawRoute(const routing::RouteResult& route,
+                                    const std::string& color) {
+  std::vector<geom::Vec2> pts;
+  pts.reserve(route.path.size());
+  for (graph::NodeId v : route.path) pts.push_back(net_.ldel().position(v));
+  polyline(pts, color, 2.4, false);
+  if (!pts.empty()) {
+    for (const geom::Vec2 end : {pts.front(), pts.back()}) {
+      std::ostringstream c;
+      c << "<circle cx=\"" << (end.x - box_.lo.x) * scale_ << "\" cy=\""
+        << (box_.hi.y - end.y) * scale_ << "\" r=\"5\" fill=\"" << color << "\"/>\n";
+      body_ += c.str();
+    }
+  }
+  return *this;
+}
+
+SvgExporter& SvgExporter::drawObstacles(const std::vector<geom::Polygon>& obstacles) {
+  for (const auto& o : obstacles) {
+    polyline(o.vertices(), "#555555", 1.0, true, "rgba(90,90,90,0.35)");
+  }
+  return *this;
+}
+
+bool SvgExporter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  const double w = box_.width() * scale_;
+  const double h = box_.height() * scale_;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+      << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << body_ << "</svg>\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace hybrid::io

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hybrid_network.hpp"
+#include "routing/router.hpp"
+
+namespace hybrid::io {
+
+/// Renders a network (and optionally routes) as a standalone SVG file, for
+/// inspecting deployments, detected holes, abstractions and routing paths.
+class SvgExporter {
+ public:
+  /// `scale`: SVG pixels per coordinate unit.
+  explicit SvgExporter(const core::HybridNetwork& net, double scale = 24.0);
+
+  /// Draw the LDel^2 edges and the nodes.
+  SvgExporter& drawNetwork(bool drawNodes = true);
+  /// Shade the detected hole polygons.
+  SvgExporter& drawHoles();
+  /// Outline each hole's convex hull and mark hull nodes.
+  SvgExporter& drawAbstractions();
+  /// Draw a routing path.
+  SvgExporter& drawRoute(const routing::RouteResult& route, const std::string& color);
+  /// Draw obstacle polygons (the ground truth that carved the holes).
+  SvgExporter& drawObstacles(const std::vector<geom::Polygon>& obstacles);
+
+  /// Writes the SVG document. Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  std::string pointStr(geom::Vec2 p) const;
+  void polyline(const std::vector<geom::Vec2>& pts, const std::string& stroke,
+                double width, bool closed, const std::string& fill = "none");
+
+  const core::HybridNetwork& net_;
+  double scale_;
+  geom::BBox box_;
+  std::string body_;
+};
+
+}  // namespace hybrid::io

@@ -1,0 +1,114 @@
+#include "protocols/bitonic_sort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hybrid::protocols {
+
+namespace {
+
+struct SortState {
+  int pos = -1;         ///< Hypercube position (ring-distance ID).
+  double key = 0.0;
+  double partnerKey = 0.0;
+  bool gotPartner = false;
+};
+
+class BitonicProtocol : public sim::Protocol {
+ public:
+  BitonicProtocol(std::vector<SortState>& st, const std::vector<int>& ring, int dims)
+      : st_(st), ring_(ring), dims_(dims) {
+    for (int stage = 0; stage < dims_; ++stage) {
+      for (int sub = stage; sub >= 0; --sub) schedule_.emplace_back(stage, sub);
+    }
+  }
+
+  int exchanges() const { return static_cast<int>(schedule_.size()); }
+
+  void onStart(sim::Context& ctx) override { sendExchange(ctx, 0); }
+
+  void onMessage(sim::Context& ctx, const sim::Message& m) override {
+    SortState& s = st_[static_cast<std::size_t>(ctx.self())];
+    if (s.pos < 0) return;
+    s.partnerKey = m.reals[0];
+    s.gotPartner = true;
+  }
+
+  void onRoundEnd(sim::Context& ctx) override {
+    SortState& s = st_[static_cast<std::size_t>(ctx.self())];
+    if (s.pos < 0 || !s.gotPartner) return;
+    s.gotPartner = false;
+    const int idx = ctx.round() - 1;
+    const auto [stage, sub] = schedule_[static_cast<std::size_t>(idx)];
+    const int partner = s.pos ^ (1 << sub);
+    const bool ascending = (s.pos & (1 << (stage + 1))) == 0;
+    const bool lowSide = s.pos < partner;
+    const bool keepMin = ascending == lowSide;
+    s.key = keepMin ? std::min(s.key, s.partnerKey) : std::max(s.key, s.partnerKey);
+    sendExchange(ctx, ctx.round());
+  }
+
+ private:
+  void sendExchange(sim::Context& ctx, int round) {
+    SortState& s = st_[static_cast<std::size_t>(ctx.self())];
+    if (s.pos < 0 || round >= exchanges()) return;
+    const auto [stage, sub] = schedule_[static_cast<std::size_t>(round)];
+    (void)stage;
+    const int partnerPos = s.pos ^ (1 << sub);
+    sim::Message m;
+    m.reals = {s.key};
+    ctx.sendLongRange(ring_[static_cast<std::size_t>(partnerPos)], std::move(m));
+  }
+
+  std::vector<SortState>& st_;
+  const std::vector<int>& ring_;
+  int dims_;
+  std::vector<std::pair<int, int>> schedule_;
+};
+
+}  // namespace
+
+BitonicSorter::BitonicSorter(sim::Simulator& simulator, std::vector<int> ring,
+                             std::vector<double> keys)
+    : sim_(simulator), ring_(std::move(ring)), keys_(std::move(keys)) {
+  const std::size_t k = ring_.size();
+  if (k == 0 || (k & (k - 1)) != 0) {
+    throw std::invalid_argument("BitonicSorter: ring size must be a power of two");
+  }
+  if (keys_.size() != k) {
+    throw std::invalid_argument("BitonicSorter: one key per ring member required");
+  }
+  // The doubling contacts (ring distance 2^j in either direction) come from
+  // the pointer-jumping phase; make them known here so the sorter can run
+  // standalone as well.
+  int dims = 0;
+  while ((1u << dims) < k) ++dims;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (int j = 0; j < dims; ++j) {
+      sim_.introduce(ring_[p], ring_[p ^ (1u << j)]);
+    }
+  }
+}
+
+int BitonicSorter::run() {
+  const std::size_t k = ring_.size();
+  int dims = 0;
+  while ((1u << dims) < k) ++dims;
+
+  std::vector<SortState> st(sim_.numNodes());
+  for (std::size_t i = 0; i < k; ++i) {
+    st[static_cast<std::size_t>(ring_[i])].pos = static_cast<int>(i);
+    st[static_cast<std::size_t>(ring_[i])].key = keys_[i];
+  }
+  BitonicProtocol proto(st, ring_, dims);
+  const int rounds = sim_.run(proto);
+
+  sorted_.assign(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    sorted_[i] = st[static_cast<std::size_t>(ring_[i])].key;
+  }
+  return rounds;
+}
+
+}  // namespace hybrid::protocols

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hybrid::protocols {
+
+/// Batcher's bitonic sort on the hypercube emulated by a ring of k = 2^d
+/// nodes (paper §5.3). Slot p holds one key; the compare-exchange partner
+/// in substage j is p XOR 2^j, which is exactly the pointer-jumping contact
+/// at ring distance 2^j. Runs in d*(d+1)/2 exchange rounds = O(log^2 k).
+///
+/// The paper assumes power-of-two rings for this step ("For simplicity, we
+/// assume the number of nodes in the ring to be a power of two"); we mirror
+/// that assumption. The convex hull protocol does not need the sort (its
+/// hull-of-union merge is order-free), so general rings skip this phase.
+class BitonicSorter {
+ public:
+  /// `ring`: member node ids in ring order (size must be a power of two).
+  /// `keys[i]` is the key initially held by ring[i].
+  BitonicSorter(sim::Simulator& simulator, std::vector<int> ring, std::vector<double> keys);
+
+  /// Runs the sort; returns rounds used.
+  int run();
+
+  /// Key held at ring position i after the sort.
+  const std::vector<double>& sortedKeys() const { return sorted_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<int> ring_;
+  std::vector<double> keys_;
+  std::vector<double> sorted_;
+};
+
+}  // namespace hybrid::protocols

@@ -1,0 +1,118 @@
+#include "protocols/incremental.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "protocols/dominating_set_protocol.hpp"
+
+namespace hybrid::protocols {
+
+namespace {
+
+std::vector<int> canonical(std::vector<int> ring) {
+  std::sort(ring.begin(), ring.end());
+  ring.erase(std::unique(ring.begin(), ring.end()), ring.end());
+  return ring;
+}
+
+// Jaccard similarity of two sorted unique id lists.
+double jaccard(const std::vector<int>& a, const std::vector<int>& b) {
+  std::size_t inter = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> boundaryRings(const core::HybridNetwork& net) {
+  std::vector<std::vector<int>> rings;
+  for (const auto& h : net.holes().holes) rings.push_back(h.ring);
+  if (net.holes().outerBoundary.size() >= 3) rings.push_back(net.holes().outerBoundary);
+  return rings;
+}
+
+std::vector<RingResult> runIncrementalUpdate(const core::HybridNetwork& net,
+                                             sim::Simulator& simulator,
+                                             const std::vector<std::vector<int>>& previousRings,
+                                             IncrementalReport* report, unsigned seed,
+                                             double membershipTolerance) {
+  std::vector<std::vector<int>> previous;
+  previous.reserve(previousRings.size());
+  for (const auto& r : previousRings) previous.push_back(canonical(r));
+
+  const auto current = boundaryRings(net);
+  RingInputs changed;
+  std::vector<std::size_t> changedIdx;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    const auto key = canonical(current[i]);
+    double best = 0.0;
+    for (const auto& prev : previous) best = std::max(best, jaccard(key, prev));
+    if (best < 1.0 - membershipTolerance - 1e-12) {
+      changed.rings.push_back(current[i]);
+      changedIdx.push_back(i);
+    }
+  }
+
+  IncrementalReport rep;
+  rep.totalRings = static_cast<int>(current.size());
+  rep.changedRings = static_cast<int>(changed.rings.size());
+
+  std::vector<RingResult> out(current.size());
+  simulator.resetStats();
+  if (!changed.rings.empty()) {
+    RingPipeline pipeline(simulator, changed);
+    auto results = pipeline.run();
+    rep.rounds += pipeline.rounds().total();
+    for (std::size_t j = 0; j < changedIdx.size(); ++j) {
+      out[changedIdx[j]] = std::move(results[j]);
+    }
+
+    // Refresh the dominating sets of the changed holes' bays.
+    std::set<int> changedHoles(changedIdx.begin(), changedIdx.end());
+    std::vector<std::vector<int>> chains;
+    for (const auto& a : net.abstractions()) {
+      if (!changedHoles.contains(a.holeIndex)) continue;
+      for (const auto& bay : a.bays) chains.push_back(bay.chain);
+    }
+    if (!chains.empty()) {
+      DominatingSetProtocol ds(simulator, chains, seed);
+      rep.rounds += ds.run();
+    }
+  }
+  rep.messages = simulator.totalMessages();
+
+  // For comparison: the cost of the full §6 re-run (all rings + all bays).
+  {
+    sim::Simulator fullSim(net.udg());
+    RingPipeline full(fullSim, RingInputs{current});
+    full.run();
+    rep.fullRounds = full.rounds().total();
+    std::vector<std::vector<int>> chains;
+    for (const auto& a : net.abstractions()) {
+      for (const auto& bay : a.bays) chains.push_back(bay.chain);
+    }
+    if (!chains.empty()) {
+      DominatingSetProtocol ds(fullSim, chains, seed);
+      rep.fullRounds += ds.run();
+    }
+    rep.fullMessages = fullSim.totalMessages();
+  }
+
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
+}  // namespace hybrid::protocols

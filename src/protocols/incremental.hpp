@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "core/hybrid_network.hpp"
+#include "protocols/ring_pipeline.hpp"
+#include "sim/simulator.hpp"
+
+namespace hybrid::protocols {
+
+/// Extension beyond the paper (its §7 suggests bounded movement speed
+/// should allow recomputing only parts of the overlay): between dynamic
+/// steps, only the boundary rings whose *membership* changed re-run the
+/// ring pipeline (leader election, IDs, hull aggregation); rings whose
+/// node set is unchanged keep their abstraction — with bounded node speed
+/// the hull they computed is still an abstraction of the slightly deformed
+/// hole. Dominating sets are refreshed for the bays of changed holes only.
+struct IncrementalReport {
+  int totalRings = 0;
+  int changedRings = 0;
+  int rounds = 0;        ///< Rounds spent on the changed rings + their bays.
+  long messages = 0;     ///< Messages spent by the incremental update.
+  int fullRounds = 0;    ///< What a full (non-incremental) §6 re-run would cost.
+  long fullMessages = 0;
+};
+
+/// Runs the incremental update. `previousRings` are the ring node
+/// sequences from the previous step (holes + outer boundary, any order).
+/// A ring counts as unchanged when some previous ring shares at least
+/// (1 - membershipTolerance) of its node set (Jaccard similarity): with
+/// bounded movement speed the previously computed hull is still a valid
+/// approximation of the slightly deformed hole, so it is kept. Tolerance 0
+/// demands exact membership. Returns the per-ring results for the changed
+/// rings (current hole order; unchanged rings get empty results).
+std::vector<RingResult> runIncrementalUpdate(const core::HybridNetwork& net,
+                                             sim::Simulator& simulator,
+                                             const std::vector<std::vector<int>>& previousRings,
+                                             IncrementalReport* report,
+                                             unsigned seed = 1,
+                                             double membershipTolerance = 0.0);
+
+/// Convenience: all boundary rings of a network (holes + outer boundary),
+/// for feeding the next step's `previousRings`.
+std::vector<std::vector<int>> boundaryRings(const core::HybridNetwork& net);
+
+}  // namespace hybrid::protocols

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace hybrid::protocols {
+
+/// Distributed construction of the 2-localized Delaunay graph in O(1)
+/// rounds (paper §5.1, after Li, Calinescu, Wan), plus the local
+/// boundary-detection step of §5.2:
+///
+///  round 1: every node broadcasts (id, position) to its UDG neighbors;
+///  round 2: every node forwards its neighbor list (with coordinates), so
+///           each node knows its 2-hop neighborhood;
+///  local:   each node tests every incident UDG triangle against its own
+///           2-hop knowledge (Def. 2.2) and computes its Gabriel edges
+///           (violators of a diametral circle are common neighbors);
+///  round 3: proposed triangles are exchanged; a triangle survives iff all
+///           three corners proposed it — which is exactly the emptiness
+///           test over N2(u) u N2(v) u N2(w).
+///
+/// Boundary detection is purely local: a node sorts its LDel neighbors by
+/// angle; an angular gap not covered by a surviving triangle means the
+/// incident face has >= 4 corners (or is the outer face), so the node is a
+/// boundary node and the two gap neighbors are its ring neighbors.
+struct DistributedLdel {
+  graph::GeometricGraph graph;   ///< The LDel^2 edges (union over nodes).
+  std::vector<char> isBoundary;  ///< Local boundary flag per node.
+  /// Angular gaps per node: (clockwise neighbor, counter-clockwise
+  /// neighbor) of each uncovered wedge — the ring pred/succ candidates.
+  std::vector<std::vector<std::array<int, 2>>> gaps;
+  int rounds = 0;
+  long messages = 0;
+};
+
+DistributedLdel runLdelConstruction(sim::Simulator& simulator, double radius = 1.0);
+
+/// §5.4's "second run": given the outer boundary ring (turning angle
+/// -2*pi) and the convex hull its members computed, every pair of
+/// hull-consecutive nodes farther apart than `radius` delimits an outer
+/// hole (Def. 2.5). Returns one ring per outer hole: the boundary arc
+/// between the two hull nodes, reversed so the pocket is traversed
+/// counter-clockwise like every other hole ring.
+std::vector<std::vector<int>> deriveOuterHoleRings(
+    const std::vector<int>& outerRing, const std::vector<int>& hullNodes,
+    const graph::GeometricGraph& positions, double radius);
+
+/// Stitches the locally detected gaps into boundary rings by following
+/// each node's gap successor. Every node only ever consults its own local
+/// (pred, succ); the global ring lists exist so the simulator can tag
+/// protocol instances (see RingPipeline). Rings come out oriented so that
+/// hole rings turn counter-clockwise and the outer boundary clockwise,
+/// matching the face-walk convention of the hole-detection oracle.
+std::vector<std::vector<int>> assembleRingsFromGaps(const DistributedLdel& ldel);
+
+}  // namespace hybrid::protocols

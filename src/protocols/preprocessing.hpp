@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "core/hybrid_network.hpp"
+#include "protocols/overlay_tree.hpp"
+#include "protocols/ring_pipeline.hpp"
+#include "sim/simulator.hpp"
+
+namespace hybrid::protocols {
+
+/// Round and traffic accounting for the complete distributed preprocessing
+/// of paper §5 (the O(log^2 n) pipeline of Theorem 1.2).
+struct PreprocessingReport {
+  int ldelConstruction = 0;     ///< O(1) rounds (Li et al.); modeled as a constant.
+  RingPipelineRounds rings;     ///< §5.2-§5.4 per phase.
+  int treeConstruction = 0;     ///< §5.5 overlay tree.
+  int hullDistribution = 0;     ///< §5.5 broadcast of hull info.
+  int dominatingSets = 0;       ///< §5.6 per-bay dominating sets.
+  long totalMessages = 0;
+  long maxWordsPerNode = 0;
+  int treeHeight = 0;
+  bool treeIsSingle = false;
+
+  int totalRounds() const {
+    return ldelConstruction + rings.total() + treeConstruction + hullDistribution +
+           dominatingSets;
+  }
+  /// Rounds for a dynamic re-run (§6): everything except the tree.
+  int dynamicRounds() const { return totalRounds() - treeConstruction; }
+};
+
+/// Outputs of the distributed preprocessing, for cross-validation against
+/// the centralized oracle in core::HybridNetwork.
+struct PreprocessingOutputs {
+  std::vector<RingResult> ringResults;        ///< Per detected boundary ring.
+  OverlayTree tree;
+  std::vector<std::vector<int>> hullKnowledge;  ///< Per hull node: all hull nodes.
+  std::vector<std::vector<int>> bayDominatingSets;  ///< Flattened (abstraction, bay).
+};
+
+/// Runs the full distributed preprocessing on the given (already built)
+/// network: ring protocols on every hole boundary and the outer boundary,
+/// the overlay tree, hull distribution, and the per-bay dominating sets.
+/// The boundary rings come from the oracle's hole detection, standing in
+/// for the local boundary-detection step each node performs on its
+/// 2-localized Delaunay neighborhood (paper §5.2).
+PreprocessingOutputs runPreprocessing(const core::HybridNetwork& net,
+                                      sim::Simulator& simulator,
+                                      PreprocessingReport* report, unsigned seed = 1);
+
+/// Fully distributed variant: instead of taking the boundary rings from
+/// the oracle, it runs the O(1)-round LDel construction protocol (§5.1),
+/// detects boundaries locally, stitches the rings from the per-node gaps,
+/// and — after the outer boundary's hull is known — performs §5.4's
+/// second hull run on every outer-hole pocket (arcs between hull chords
+/// longer than the radius). `ringsOut`, if non-null, receives all rings
+/// (first-run rings, then the derived outer-hole rings).
+PreprocessingOutputs runDistributedPreprocessing(const core::HybridNetwork& net,
+                                                 sim::Simulator& simulator,
+                                                 PreprocessingReport* report,
+                                                 unsigned seed = 1,
+                                                 std::vector<std::vector<int>>* ringsOut = nullptr);
+
+}  // namespace hybrid::protocols

@@ -1,0 +1,434 @@
+#include "protocols/ring_pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "geom/angle.hpp"
+#include "geom/polygon.hpp"
+
+namespace hybrid::protocols {
+
+namespace {
+
+constexpr long kNoId = std::numeric_limits<long>::max();
+
+// Per-(node, ring) protocol state. A node lying on several boundary rings
+// runs one independent instance per ring; messages are tagged with the
+// ring index (first entry of Message::ints) to dispatch to the right one.
+struct InstState {
+  int ring = -1;
+  int node = -1;
+  int pred0 = -1;
+  int succ0 = -1;
+  double ownTurnAngle = 0.0;
+
+  // Phase 1: pointer jumping.
+  int curPred = -1;
+  int curSucc = -1;
+  long minSucc = kNoId;  ///< min ID over (v, curSucc]
+  long minPred = kNoId;  ///< min ID over [curPred, v)
+  std::vector<int> succDist;  ///< contact at ring distance 2^j forward
+  std::vector<int> predDist;  ///< contact at ring distance 2^j backward
+  bool elected = false;
+  int leader = -1;
+  int nextSucc = -1;
+  long nextMinSucc = kNoId;
+  int nextPred = -1;
+  long nextMinPred = kNoId;
+
+  // Phase 2: ring-distance IDs.
+  long id = kNoId;
+  long bestForwarded = kNoId;
+
+  // Phase 3: aggregation partials.
+  long count = 1;
+  double angle = 0.0;
+  long maxId = 0;
+  std::vector<int> hullIds;
+  std::vector<geom::Vec2> hullPts;
+  std::vector<int> childLevels;
+
+  // Phase 4: results.
+  bool haveResult = false;
+  long ringSize = 0;
+  double totalAngle = 0.0;
+  std::vector<int> finalHull;
+};
+
+// All instances, grouped by node for handler dispatch.
+class Instances {
+ public:
+  explicit Instances(std::size_t numNodes) : byNode_(numNodes) {}
+
+  InstState& add(int node, int ring) {
+    auto& list = byNode_[static_cast<std::size_t>(node)];
+    list.push_back(InstState{});
+    list.back().ring = ring;
+    list.back().node = node;
+    return list.back();
+  }
+
+  InstState* find(int node, int ring) {
+    for (auto& s : byNode_[static_cast<std::size_t>(node)]) {
+      if (s.ring == ring) return &s;
+    }
+    return nullptr;
+  }
+
+  std::vector<InstState>& of(int node) { return byNode_[static_cast<std::size_t>(node)]; }
+  std::size_t numNodes() const { return byNode_.size(); }
+
+ private:
+  std::vector<std::vector<InstState>> byNode_;
+};
+
+void mergeHullInto(InstState& s, const std::vector<int>& ids,
+                   const std::vector<geom::Vec2>& pts) {
+  std::vector<int> allIds = s.hullIds;
+  std::vector<geom::Vec2> allPts = s.hullPts;
+  allIds.insert(allIds.end(), ids.begin(), ids.end());
+  allPts.insert(allPts.end(), pts.begin(), pts.end());
+  const auto hull = geom::convexHullIndices(allPts);
+  s.hullIds.clear();
+  s.hullPts.clear();
+  for (int i : hull) {
+    s.hullIds.push_back(allIds[static_cast<std::size_t>(i)]);
+    s.hullPts.push_back(allPts[static_cast<std::size_t>(i)]);
+  }
+  if (s.hullIds.empty() && !allIds.empty()) {  // degenerate (collinear) sets
+    s.hullIds = allIds;
+    s.hullPts = allPts;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: pointer jumping with leader election (paper §5.2).
+// ---------------------------------------------------------------------------
+class PointerJumping : public sim::Protocol {
+ public:
+  explicit PointerJumping(Instances& st) : st_(st) {}
+
+  static constexpr int kToPred = 1;  // ints: [ring, newSucc, minSucc]
+  static constexpr int kToSucc = 2;  // ints: [ring, newPred, minPred]
+
+  void onStart(sim::Context& ctx) override {
+    for (InstState& s : st_.of(ctx.self())) {
+      s.curPred = s.pred0;
+      s.curSucc = s.succ0;
+      s.minSucc = s.succ0;
+      s.minPred = s.pred0;
+      s.succDist = {s.succ0};
+      s.predDist = {s.pred0};
+      sendPair(ctx, s);
+    }
+  }
+
+  void onMessage(sim::Context& ctx, const sim::Message& m) override {
+    InstState* s = st_.find(ctx.self(), static_cast<int>(m.ints[0]));
+    if (s == nullptr) return;
+    if (m.type == kToPred) {
+      s->nextSucc = static_cast<int>(m.ints[1]);
+      s->nextMinSucc = std::min(s->minSucc, static_cast<long>(m.ints[2]));
+    } else if (m.type == kToSucc) {
+      s->nextPred = static_cast<int>(m.ints[1]);
+      s->nextMinPred = std::min(s->minPred, static_cast<long>(m.ints[2]));
+    }
+  }
+
+  void onRoundEnd(sim::Context& ctx) override {
+    for (InstState& s : st_.of(ctx.self())) {
+      if (s.nextSucc < 0 || s.nextPred < 0) continue;  // not updated this round
+      s.curSucc = s.nextSucc;
+      s.curPred = s.nextPred;
+      s.minSucc = s.nextMinSucc;
+      s.minPred = s.nextMinPred;
+      s.nextSucc = s.nextPred = -1;
+      s.succDist.push_back(s.curSucc);
+      s.predDist.push_back(s.curPred);
+      if (s.elected) continue;  // post-election doubling round applied; stop
+      if (s.minSucc == s.minPred) {
+        // Both arcs wrapped far enough to cover the ring (minus v itself).
+        // One more doubling round runs so the contact tables reach level
+        // J+1 — the ID assignment needs sums up to 2^(J+2)-1 >= k-1.
+        s.elected = true;
+        s.leader = static_cast<int>(std::min(s.minSucc, static_cast<long>(ctx.self())));
+        sendPair(ctx, s);
+        continue;
+      }
+      sendPair(ctx, s);
+    }
+  }
+
+ private:
+  void sendPair(sim::Context& ctx, InstState& s) {
+    sim::Message toPred;
+    toPred.type = kToPred;
+    toPred.ints = {s.ring, s.curSucc, s.minSucc};
+    toPred.ids = {s.curSucc};
+    ctx.sendLongRange(s.curPred, std::move(toPred));
+    sim::Message toSucc;
+    toSucc.type = kToSucc;
+    toSucc.ints = {s.ring, s.curPred, s.minPred};
+    toSucc.ids = {s.curPred};
+    ctx.sendLongRange(s.curSucc, std::move(toSucc));
+  }
+
+  Instances& st_;
+};
+
+// ---------------------------------------------------------------------------
+// Phase 2: ring-distance (hypercube) ID assignment from the leader.
+// ---------------------------------------------------------------------------
+class IdAssignment : public sim::Protocol {
+ public:
+  explicit IdAssignment(Instances& st) : st_(st) {}
+
+  static constexpr int kAssign = 3;  // ints: [ring, value, level]
+
+  void onStart(sim::Context& ctx) override {
+    for (InstState& s : st_.of(ctx.self())) {
+      if (s.leader != ctx.self()) continue;
+      s.id = 0;
+      for (std::size_t j = 0; j < s.succDist.size(); ++j) {
+        const int target = s.succDist[j];
+        if (target == ctx.self()) continue;  // wrapped pointer
+        sim::Message m;
+        m.type = kAssign;
+        m.ints = {s.ring, static_cast<std::int64_t>(1) << j, static_cast<std::int64_t>(j)};
+        ctx.sendLongRange(target, std::move(m));
+      }
+    }
+  }
+
+  void onMessage(sim::Context& ctx, const sim::Message& m) override {
+    InstState* s = st_.find(ctx.self(), static_cast<int>(m.ints[0]));
+    if (s == nullptr) return;
+    const long value = static_cast<long>(m.ints[1]);
+    const int level = static_cast<int>(m.ints[2]);
+    s->id = std::min(s->id, value);
+    if (value >= s->bestForwarded) return;  // an equal pass already forwarded
+    s->bestForwarded = value;
+    for (int j = 0; j < level; ++j) {
+      const int target = s->succDist[static_cast<std::size_t>(j)];
+      if (target == ctx.self()) continue;
+      sim::Message fwd;
+      fwd.type = kAssign;
+      fwd.ints = {s->ring, value + (static_cast<std::int64_t>(1) << j),
+                  static_cast<std::int64_t>(j)};
+      ctx.sendLongRange(target, std::move(fwd));
+    }
+  }
+
+ private:
+  Instances& st_;
+};
+
+// ---------------------------------------------------------------------------
+// Phase 3: binomial-tree aggregation of ring size, turning angle and the
+// convex hull (paper §5.3/§5.4).
+// ---------------------------------------------------------------------------
+class Aggregation : public sim::Protocol {
+ public:
+  Aggregation(Instances& st, int levels) : st_(st), levels_(levels) {}
+
+  static constexpr int kPartial = 4;
+  // ints: [ring, count, maxId, hullIds...]; reals: [angle, X..., Y...]
+
+  void onStart(sim::Context& ctx) override {
+    for (InstState& s : st_.of(ctx.self())) {
+      s.count = 1;
+      s.angle = s.ownTurnAngle;
+      s.maxId = s.id == kNoId ? 0 : s.id;
+      s.hullIds = {ctx.self()};
+      s.hullPts = {ctx.position()};
+      s.childLevels.clear();
+      maybeSend(ctx, s, 0);
+    }
+  }
+
+  void onMessage(sim::Context& ctx, const sim::Message& m) override {
+    InstState* s = st_.find(ctx.self(), static_cast<int>(m.ints[0]));
+    if (s == nullptr) return;
+    s->count += static_cast<long>(m.ints[1]);
+    s->maxId = std::max(s->maxId, static_cast<long>(m.ints[2]));
+    s->angle += m.reals[0];
+    const std::size_t h = m.ints.size() - 3;
+    std::vector<int> ids;
+    std::vector<geom::Vec2> pts;
+    for (std::size_t i = 0; i < h; ++i) {
+      ids.push_back(static_cast<int>(m.ints[3 + i]));
+      pts.push_back({m.reals[1 + i], m.reals[1 + h + i]});
+    }
+    mergeHullInto(*s, ids, pts);
+    s->childLevels.push_back(ctx.round() - 1);  // sent at level = round - 1
+  }
+
+  void onRoundEnd(sim::Context& ctx) override {
+    if (ctx.self() == 0) roundsSeen_ = ctx.round();
+    for (InstState& s : st_.of(ctx.self())) maybeSend(ctx, s, ctx.round());
+  }
+
+  bool wantsMoreRounds() const override { return roundsSeen_ < levels_; }
+
+ private:
+  void maybeSend(sim::Context& ctx, InstState& s, int round) {
+    const int j = round;  // level j fires at round j, delivered j+1
+    if (j >= levels_ || s.id == kNoId) return;
+    const auto bit = static_cast<long>(1) << j;
+    if ((s.id & ((bit << 1) - 1)) != bit) return;
+    if (static_cast<std::size_t>(j) >= s.predDist.size()) return;
+    const int target = s.predDist[static_cast<std::size_t>(j)];
+    if (target == ctx.self()) return;
+    sim::Message m;
+    m.type = kPartial;
+    m.ints = {s.ring, s.count, s.maxId};
+    for (int idv : s.hullIds) m.ints.push_back(idv);
+    m.reals = {s.angle};
+    for (const auto& p : s.hullPts) m.reals.push_back(p.x);
+    for (const auto& p : s.hullPts) m.reals.push_back(p.y);
+    m.ids = s.hullIds;
+    ctx.sendLongRange(target, std::move(m));
+  }
+
+  Instances& st_;
+  int levels_;
+  int roundsSeen_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Phase 4: broadcast of the aggregate back down the binomial tree.
+// ---------------------------------------------------------------------------
+class BroadcastDown : public sim::Protocol {
+ public:
+  explicit BroadcastDown(Instances& st) : st_(st) {}
+
+  static constexpr int kResult = 5;
+  // ints: [ring, ringSize, leader, hullIds...]; reals: [angle]
+
+  void onStart(sim::Context& ctx) override {
+    for (InstState& s : st_.of(ctx.self())) {
+      if (s.id != 0) continue;
+      s.ringSize = s.maxId + 1;
+      s.totalAngle = s.angle;
+      s.finalHull = s.hullIds;
+      s.haveResult = true;
+      forward(ctx, s);
+    }
+  }
+
+  void onMessage(sim::Context& ctx, const sim::Message& m) override {
+    InstState* s = st_.find(ctx.self(), static_cast<int>(m.ints[0]));
+    if (s == nullptr || s->haveResult) return;
+    s->ringSize = static_cast<long>(m.ints[1]);
+    s->totalAngle = m.reals[0];
+    s->finalHull.assign(m.ints.begin() + 3, m.ints.end());
+    s->haveResult = true;
+    forward(ctx, *s);
+  }
+
+ private:
+  void forward(sim::Context& ctx, InstState& s) {
+    for (int j : s.childLevels) {
+      if (static_cast<std::size_t>(j) >= s.succDist.size()) continue;
+      const int target = s.succDist[static_cast<std::size_t>(j)];
+      if (target == ctx.self()) continue;
+      sim::Message m;
+      m.type = kResult;
+      m.ints = {s.ring, s.ringSize, s.leader};
+      for (int idv : s.finalHull) m.ints.push_back(idv);
+      m.reals = {s.totalAngle};
+      m.ids = s.finalHull;
+      ctx.sendLongRange(target, std::move(m));
+    }
+  }
+
+  Instances& st_;
+};
+
+}  // namespace
+
+RingPipeline::RingPipeline(sim::Simulator& simulator, RingInputs inputs)
+    : sim_(simulator), inputs_(std::move(inputs)) {
+  ringId_.assign(sim_.numNodes(), -1);
+  ringOf_.assign(sim_.numNodes(), -1);
+  // Make each ring simple (drop repeated visits through cut vertices).
+  for (auto& ring : inputs_.rings) {
+    std::set<int> seen;
+    std::vector<int> simple;
+    for (int v : ring) {
+      if (seen.insert(v).second) simple.push_back(v);
+    }
+    ring = std::move(simple);
+  }
+  // Ring neighbors know each other: for inner holes they are LDel (hence
+  // UDG) neighbors; for outer holes the two endpoints of a long hull edge
+  // learned each other while computing the outer boundary's convex hull
+  // (paper §5.4). Model that as an out-of-band introduction.
+  for (const auto& ring : inputs_.rings) {
+    const std::size_t k = ring.size();
+    for (std::size_t i = 0; i < k; ++i) {
+      sim_.introduce(ring[i], ring[(i + 1) % k]);
+      sim_.introduce(ring[(i + 1) % k], ring[i]);
+    }
+  }
+}
+
+std::vector<RingResult> RingPipeline::run() {
+  Instances st(sim_.numNodes());
+  for (std::size_t ri = 0; ri < inputs_.rings.size(); ++ri) {
+    const auto& ring = inputs_.rings[ri];
+    if (ring.size() < 3) continue;
+    const int k = static_cast<int>(ring.size());
+    for (int i = 0; i < k; ++i) {
+      const int node = ring[static_cast<std::size_t>(i)];
+      InstState& s = st.add(node, static_cast<int>(ri));
+      s.pred0 = ring[static_cast<std::size_t>((i + k - 1) % k)];
+      s.succ0 = ring[static_cast<std::size_t>((i + 1) % k)];
+      s.ownTurnAngle = geom::signedTurnAngle(sim_.position(s.pred0), sim_.position(node),
+                                             sim_.position(s.succ0));
+    }
+  }
+
+  PointerJumping p1(st);
+  rounds_.pointerJumping = sim_.run(p1);
+
+  IdAssignment p2(st);
+  rounds_.idAssignment = sim_.run(p2);
+
+  int maxLevels = 1;
+  for (std::size_t v = 0; v < st.numNodes(); ++v) {
+    for (const auto& s : st.of(static_cast<int>(v))) {
+      maxLevels = std::max(maxLevels, static_cast<int>(s.succDist.size()));
+    }
+  }
+  Aggregation p3(st, maxLevels);
+  rounds_.aggregation = sim_.run(p3);
+
+  BroadcastDown p4(st);
+  rounds_.broadcast = sim_.run(p4);
+
+  for (std::size_t v = 0; v < st.numNodes(); ++v) {
+    const auto& list = st.of(static_cast<int>(v));
+    if (!list.empty()) {
+      ringId_[v] = list.front().id == kNoId ? -1 : static_cast<int>(list.front().id);
+      ringOf_[v] = list.front().ring;
+    }
+  }
+
+  std::vector<RingResult> out(inputs_.rings.size());
+  for (std::size_t ri = 0; ri < inputs_.rings.size(); ++ri) {
+    for (int v : inputs_.rings[ri]) {
+      const InstState* s = st.find(v, static_cast<int>(ri));
+      if (s == nullptr || !s->haveResult) continue;
+      out[ri].leader = s->leader;
+      out[ri].size = static_cast<int>(s->ringSize);
+      out[ri].turningAngle = s->totalAngle;
+      out[ri].hull = s->finalHull;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hybrid::protocols

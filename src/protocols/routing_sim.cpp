@@ -1,0 +1,96 @@
+#include "protocols/routing_sim.hpp"
+
+namespace hybrid::protocols {
+
+namespace {
+
+constexpr int kAskPosition = 30;
+constexpr int kPosition = 31;
+constexpr int kData = 32;  // ints: [pathIndex, path...]
+
+class Transmission : public sim::Protocol {
+ public:
+  Transmission(core::HybridNetwork& net, int s, int t) : net_(net), s_(s), t_(t) {}
+
+  void onStart(sim::Context& ctx) override {
+    if (ctx.self() != s_) return;
+    // (s, t) is an edge of E: the source knows the target's ID and asks
+    // for its geographic position over a long-range link (paper §1.2).
+    sim::Message ask;
+    ask.type = kAskPosition;
+    ctx.sendLongRange(t_, std::move(ask));
+  }
+
+  void onMessage(sim::Context& ctx, const sim::Message& m) override {
+    switch (m.type) {
+      case kAskPosition: {
+        sim::Message reply;
+        reply.type = kPosition;
+        reply.reals = {ctx.position().x, ctx.position().y};
+        ctx.sendLongRange(m.from, std::move(reply));
+        break;
+      }
+      case kPosition: {
+        // Source-route: the oracle router computes the hop sequence the
+        // distributed protocol (Chew + overlay lookups) would produce.
+        const auto route = net_.route(s_, t_);
+        if (!route.delivered || route.path.size() < 2) {
+          delivered = route.delivered && ctx.self() == t_;
+          if (route.path.size() == 1 && s_ == t_) delivered = true;
+          return;
+        }
+        path = route.path;
+        sim::Message data;
+        data.type = kData;
+        data.ints = {1};  // next index into the path
+        for (int v : path) data.ints.push_back(v);
+        ctx.sendAdHoc(path[1], std::move(data));
+        break;
+      }
+      case kData: {
+        if (ctx.self() == t_) {
+          delivered = true;
+          return;
+        }
+        const auto idx = static_cast<std::size_t>(m.ints[0]);
+        if (idx + 1 >= m.ints.size() - 1) return;  // malformed
+        sim::Message fwd;
+        fwd.type = kData;
+        fwd.ints = m.ints;
+        fwd.ints[0] = static_cast<std::int64_t>(idx) + 1;
+        ctx.sendAdHoc(static_cast<int>(m.ints[1 + idx + 1]), std::move(fwd));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  bool delivered = false;
+  std::vector<graph::NodeId> path;
+
+ private:
+  core::HybridNetwork& net_;
+  int s_;
+  int t_;
+};
+
+}  // namespace
+
+TransmissionResult simulateTransmission(core::HybridNetwork& net,
+                                        sim::Simulator& simulator, int s, int t) {
+  simulator.introduce(s, t);  // (s, t) in E: the caller knows the callee
+  simulator.resetStats();
+  Transmission proto(net, s, t);
+  TransmissionResult result;
+  result.rounds = simulator.run(proto);
+  result.delivered = proto.delivered;
+  result.adHocHops = proto.path.empty() ? 0 : static_cast<int>(proto.path.size()) - 1;
+  for (const auto& st : simulator.stats()) {
+    result.adHocMessages += st.sentAdHoc;
+    result.longRangeMessages += st.sentLongRange;
+  }
+  return result;
+}
+
+}  // namespace hybrid::protocols

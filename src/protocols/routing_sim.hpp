@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/hybrid_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hybrid::protocols {
+
+/// End-to-end transmission on the message-passing simulator, following the
+/// paper's §1.2/§3 flow:
+///   1. the source asks the target for its coordinates over a long-range
+///      link ((s,t) is in E: users call people they know) — 2 rounds,
+///   2. the source computes the route (in the real system this is the
+///      Chew walk plus the hole nodes' overlay lookups; here the oracle
+///      router stands in for that local computation, producing exactly
+///      the hop sequence the distributed nodes would),
+///   3. the message travels hop by hop over ad hoc links, one per round.
+struct TransmissionResult {
+  bool delivered = false;
+  int rounds = 0;          ///< Total rounds including the position handshake.
+  int adHocHops = 0;
+  long adHocMessages = 0;
+  long longRangeMessages = 0;
+};
+
+/// Simulates one transmission from s to t. The simulator must be built on
+/// the network's UDG.
+TransmissionResult simulateTransmission(core::HybridNetwork& net,
+                                        sim::Simulator& simulator, int s, int t);
+
+}  // namespace hybrid::protocols

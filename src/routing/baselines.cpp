@@ -1,0 +1,144 @@
+#include "routing/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "geom/angle.hpp"
+
+namespace hybrid::routing {
+
+RouteResult GreedyRouter::route(graph::NodeId source, graph::NodeId target) {
+  RouteResult r;
+  r.path.push_back(source);
+  const geom::Vec2 pt = g_.position(target);
+  graph::NodeId cur = source;
+  const std::size_t maxHops = 4 * g_.numNodes() + 16;
+  while (cur != target && r.path.size() < maxHops) {
+    const double dCur = geom::dist(g_.position(cur), pt);
+    graph::NodeId best = -1;
+    double bestD = dCur;
+    for (graph::NodeId nb : g_.neighbors(cur)) {
+      const double d = geom::dist(g_.position(nb), pt);
+      if (d < bestD) {
+        bestD = d;
+        best = nb;
+      }
+    }
+    if (best < 0) break;  // local minimum: greedy is stuck
+    r.path.push_back(best);
+    cur = best;
+  }
+  r.delivered = cur == target;
+  return r;
+}
+
+RouteResult CompassRouter::route(graph::NodeId source, graph::NodeId target) {
+  RouteResult r;
+  r.path.push_back(source);
+  const geom::Vec2 pt = g_.position(target);
+  graph::NodeId cur = source;
+  std::set<graph::NodeId> visited{source};
+  const std::size_t maxHops = 4 * g_.numNodes() + 16;
+  while (cur != target && r.path.size() < maxHops) {
+    const geom::Vec2 pc = g_.position(cur);
+    graph::NodeId best = -1;
+    double bestAngle = 1e18;
+    for (graph::NodeId nb : g_.neighbors(cur)) {
+      const geom::Vec2 pn = g_.position(nb);
+      const double ang = std::abs(geom::signedTurnAngle(pc + (pc - pt), pc, pn));
+      if (ang < bestAngle) {
+        bestAngle = ang;
+        best = nb;
+      }
+    }
+    if (best < 0) break;
+    if (visited.contains(best)) break;  // loop detected: compass fails here
+    visited.insert(best);
+    r.path.push_back(best);
+    cur = best;
+  }
+  r.delivered = cur == target;
+  return r;
+}
+
+namespace {
+
+// Walks the ring of `hole` starting at `from` in one direction, appending
+// nodes until one is strictly closer to `targetPos` than `escapeD`, or the
+// ring is exhausted. Returns true on escape.
+bool walkRing(const holes::Hole& hole, const graph::GeometricGraph& g,
+              graph::NodeId from, geom::Vec2 targetPos, double escapeD,
+              bool forward, std::vector<graph::NodeId>* out) {
+  const auto& ring = hole.ring;
+  const auto it = std::find(ring.begin(), ring.end(), from);
+  if (it == ring.end()) return false;
+  const std::size_t n = ring.size();
+  std::size_t idx = static_cast<std::size_t>(it - ring.begin());
+  for (std::size_t step = 1; step < n; ++step) {
+    idx = forward ? (idx + 1) % n : (idx + n - 1) % n;
+    out->push_back(ring[idx]);
+    if (geom::dist(g.position(ring[idx]), targetPos) < escapeD) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RouteResult FaceGreedyRouter::route(graph::NodeId source, graph::NodeId target) {
+  RouteResult r;
+  r.path.push_back(source);
+  const geom::Vec2 pt = g_.position(target);
+  const std::size_t maxHops = 16 * g_.numNodes() + 64;
+  graph::NodeId cur = source;
+
+  while (cur != target && r.path.size() < maxHops) {
+    // Greedy phase.
+    const double dCur = geom::dist(g_.position(cur), pt);
+    graph::NodeId best = -1;
+    double bestD = dCur;
+    for (graph::NodeId nb : g_.neighbors(cur)) {
+      const double d = geom::dist(g_.position(nb), pt);
+      if (d < bestD) {
+        bestD = d;
+        best = nb;
+      }
+    }
+    if (best >= 0) {
+      r.path.push_back(best);
+      cur = best;
+      continue;
+    }
+
+    // Recovery phase: identify the blocking hole via the corridor walk,
+    // then follow its boundary until strictly closer than the stuck node.
+    int blocked = -1;
+    std::vector<graph::NodeId> probe{cur};
+    const bool done = chew_.extend(probe, target, &blocked);
+    // Adopt the corridor hops (they are real ad hoc hops).
+    r.path.insert(r.path.end(), probe.begin() + 1, probe.end());
+    cur = r.path.back();
+    if (done) break;
+    if (blocked < 0) break;  // outer face or numeric dead end: undelivered
+
+    const holes::Hole& hole = analysis_.holes[static_cast<std::size_t>(blocked)];
+    const double escapeD = geom::dist(g_.position(cur), pt);
+    std::vector<graph::NodeId> fwd;
+    std::vector<graph::NodeId> bwd;
+    const bool okF = walkRing(hole, g_, cur, pt, escapeD, true, &fwd);
+    const bool okB = walkRing(hole, g_, cur, pt, escapeD, false, &bwd);
+    const std::vector<graph::NodeId>* pick = nullptr;
+    if (okF && (!okB || fwd.size() <= bwd.size())) {
+      pick = &fwd;
+    } else if (okB) {
+      pick = &bwd;
+    }
+    if (pick == nullptr) break;  // no escape around this hole: undelivered
+    r.path.insert(r.path.end(), pick->begin(), pick->end());
+    cur = r.path.back();
+  }
+  r.delivered = cur == target;
+  return r;
+}
+
+}  // namespace hybrid::routing

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "routing/chew.hpp"
+#include "routing/router.hpp"
+
+namespace hybrid::routing {
+
+/// Pure greedy geographic routing: always forward to the neighbor strictly
+/// closer to the target; fails in a local minimum at a radio hole. The
+/// canonical baseline whose failures motivate the paper.
+class GreedyRouter : public Router {
+ public:
+  explicit GreedyRouter(const graph::GeometricGraph& g) : g_(g) {}
+  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  std::string name() const override { return "greedy"; }
+
+ private:
+  const graph::GeometricGraph& g_;
+};
+
+/// Compass routing: forward to the neighbor whose direction is angularly
+/// closest to the target direction; fails on revisiting a node (it can
+/// loop on graphs with holes).
+class CompassRouter : public Router {
+ public:
+  explicit CompassRouter(const graph::GeometricGraph& g) : g_(g) {}
+  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  std::string name() const override { return "compass"; }
+
+ private:
+  const graph::GeometricGraph& g_;
+};
+
+/// Greedy-Face-Greedy style local routing (the GOAFR family, paper §1.4):
+/// greedy until stuck, then walk around the blocking hole's boundary until
+/// strictly closer to the target than the stuck node, then resume greedy.
+/// Guaranteed delivery on our planar instances; its detours around large /
+/// maze-shaped holes exhibit the lower-bound behaviour the paper cites.
+class FaceGreedyRouter : public Router {
+ public:
+  FaceGreedyRouter(const graph::GeometricGraph& g, const PlanarSubdivision& sub,
+                   const holes::HoleAnalysis& analysis)
+      : g_(g), chew_(g, sub), analysis_(analysis) {}
+  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  std::string name() const override { return "face-greedy"; }
+
+ private:
+  const graph::GeometricGraph& g_;
+  ChewRouter chew_;
+  const holes::HoleAnalysis& analysis_;
+};
+
+}  // namespace hybrid::routing

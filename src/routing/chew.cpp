@@ -1,0 +1,160 @@
+#include "routing/chew.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.hpp"
+#include "geom/segment.hpp"
+
+namespace hybrid::routing {
+
+namespace {
+
+// Parameter of point p along the segment (a, b), 0 at a and 1 at b.
+double paramAlong(geom::Vec2 a, geom::Vec2 b, geom::Vec2 p) {
+  const geom::Vec2 d = b - a;
+  const double len2 = d.norm2();
+  return len2 == 0.0 ? 0.0 : (p - a).dot(d) / len2;
+}
+
+}  // namespace
+
+bool ChewRouter::extend(std::vector<graph::NodeId>& path, graph::NodeId target,
+                        int* blockedHole) const {
+  if (blockedHole != nullptr) *blockedHole = -1;
+  if (path.empty()) return false;
+  const std::size_t maxSteps = 8 * sub_.faces().size() + 64;
+
+  for (std::size_t outer = 0; outer < maxSteps; ++outer) {
+    graph::NodeId cur = path.back();
+    if (cur == target) return true;
+    if (g_.hasEdge(cur, target)) {
+      path.push_back(target);
+      return true;
+    }
+
+    const geom::Vec2 ps = g_.position(cur);
+    const geom::Vec2 pt = g_.position(target);
+    const double segLen = geom::dist(ps, pt);
+    const geom::Vec2 dir = (pt - ps) / segLen;
+
+    // A neighbor lying exactly on the segment ahead is always the right
+    // hop (and the probe below would fall on that collinear edge, where
+    // strict face containment fails). Pick the nearest one.
+    {
+      graph::NodeId onSeg = -1;
+      double bestParam = 2.0;
+      for (graph::NodeId nb : g_.neighbors(cur)) {
+        const geom::Vec2 pn = g_.position(nb);
+        if (!geom::onSegment(ps, pt, pn)) continue;
+        const double param = paramAlong(ps, pt, pn);
+        if (param > 1e-15 && param < bestParam) {
+          bestParam = param;
+          onSeg = nb;
+        }
+      }
+      if (onSeg >= 0) {
+        path.push_back(onSeg);
+        continue;
+      }
+    }
+
+    const geom::Vec2 probe = ps + dir * std::min(1e-6, segLen / 2.0);
+    int face = sub_.incidentFaceContaining(cur, probe);
+    if (face < 0) return false;  // outside the hull of V or degenerate
+    if (!sub_.isWalkable(face)) {
+      if (blockedHole != nullptr) *blockedHole = sub_.holeOfFace(face);
+      return false;
+    }
+
+    // Triangle corridor walk along the fixed segment (ps, pt).
+    std::pair<graph::NodeId, graph::NodeId> prevEdge{-1, -1};
+    double entryParam = 0.0;
+    bool restart = false;
+    for (std::size_t inner = 0; inner < maxSteps; ++inner) {
+      const auto& cycle = sub_.faces()[static_cast<std::size_t>(face)].cycle;
+
+      // Target is a corner of the current triangle: final hop.
+      if (std::find(cycle.begin(), cycle.end(), target) != cycle.end()) {
+        path.push_back(target);
+        return true;
+      }
+      // Segment passes exactly through a corner: hop there and restart the
+      // walk from that node (measure-zero in random instances, but exact).
+      bool hopped = false;
+      for (graph::NodeId v : cycle) {
+        if (v == cur) continue;
+        if (geom::onSegment(ps, pt, g_.position(v)) &&
+            paramAlong(ps, pt, g_.position(v)) > entryParam + 1e-12) {
+          path.push_back(v);
+          restart = true;
+          hopped = true;
+          break;
+        }
+      }
+      if (hopped) break;
+
+      // Exit edge: the boundary edge properly crossed by (ps, pt) beyond
+      // the entry parameter.
+      int exitA = -1;
+      int exitB = -1;
+      double exitParam = 0.0;
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const graph::NodeId a = cycle[i];
+        const graph::NodeId b = cycle[(i + 1) % cycle.size()];
+        if ((a == prevEdge.first && b == prevEdge.second) ||
+            (a == prevEdge.second && b == prevEdge.first)) {
+          continue;
+        }
+        const geom::Segment e{g_.position(a), g_.position(b)};
+        if (!geom::segmentsCrossProperly({ps, pt}, e)) continue;
+        const auto ip = geom::segmentIntersectionPoint({ps, pt}, e);
+        if (!ip) continue;
+        const double tp = paramAlong(ps, pt, *ip);
+        if (tp <= entryParam - 1e-12) continue;
+        if (exitA < 0 || tp < exitParam) {
+          exitA = a;
+          exitB = b;
+          exitParam = tp;
+        }
+      }
+      if (exitA < 0) return false;  // numerical corner case; caller falls back
+
+      // Keep the message on the crossed edge: hop to one of its endpoints
+      // if not already there (all corners of a triangle are adjacent).
+      if (cur != exitA && cur != exitB) {
+        const graph::NodeId next =
+            geom::dist(g_.position(exitA), pt) <= geom::dist(g_.position(exitB), pt)
+                ? exitA
+                : exitB;
+        path.push_back(next);
+        cur = next;
+      }
+
+      const int fLeft = sub_.faceLeftOf(exitA, exitB);
+      const int fRight = sub_.faceLeftOf(exitB, exitA);
+      const int nextFace = (fLeft == face) ? fRight : fLeft;
+      if (nextFace < 0 || sub_.isOuterFace(nextFace)) {
+        return false;  // corridor leaves the hull of V
+      }
+      if (!sub_.isWalkable(nextFace)) {
+        if (blockedHole != nullptr) *blockedHole = sub_.holeOfFace(nextFace);
+        return false;  // cur sits on the hole boundary edge (exitA, exitB)
+      }
+      prevEdge = {exitA, exitB};
+      entryParam = exitParam;
+      face = nextFace;
+    }
+    if (!restart) return false;
+  }
+  return false;
+}
+
+RouteResult ChewRouter::route(graph::NodeId source, graph::NodeId target) {
+  RouteResult r;
+  r.path.push_back(source);
+  r.delivered = extend(r.path, target, &r.blockedHole);
+  return r;
+}
+
+}  // namespace hybrid::routing

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "routing/router.hpp"
+#include "routing/subdivision.hpp"
+
+namespace hybrid::routing {
+
+/// Chew-style corridor routing on the 2-localized Delaunay graph.
+///
+/// The message walks the sequence of triangles stabbed by the segment from
+/// the current node to the target, hopping along triangle vertices so that
+/// it always sits on the most recently crossed edge (the online strategy
+/// analyzed by Bose et al. / Bonichon et al.; paper Theorems 2.10/2.11).
+/// When the corridor runs into a radio hole the walk stops on the hole
+/// boundary and reports the hole index in RouteResult::blockedHole — that
+/// is exactly the hand-off point of the paper's routing protocol.
+class ChewRouter : public Router {
+ public:
+  ChewRouter(const graph::GeometricGraph& ldel, const PlanarSubdivision& sub)
+      : g_(ldel), sub_(sub) {}
+
+  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  std::string name() const override { return "chew"; }
+
+  /// Routes toward the target and appends hops to an existing path whose
+  /// back() is the current node. Returns true when the target was reached.
+  bool extend(std::vector<graph::NodeId>& path, graph::NodeId target,
+              int* blockedHole) const;
+
+ private:
+  const graph::GeometricGraph& g_;
+  const PlanarSubdivision& sub_;
+};
+
+}  // namespace hybrid::routing

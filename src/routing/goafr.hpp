@@ -1,0 +1,40 @@
+#pragma once
+
+#include "graph/rotation.hpp"
+#include "routing/router.hpp"
+
+namespace hybrid::routing {
+
+/// GOAFR+-style routing (Kuhn, Wattenhofer, Zollinger; the paper's §1.4
+/// worst-case-optimal local baseline): greedy until a local minimum, then
+/// face traversal (right/left-hand rule on the planar graph) bounded by a
+/// circle centered at the target. The circle starts at `rho0 * |ut|` and
+/// doubles whenever both traversal directions hit it, which is what makes
+/// the strategy O(rho^2)-competitive instead of unbounded.
+struct GoafrOptions {
+  double rho0 = 1.4;       ///< Initial bounding-circle factor.
+  double rho = 2.0;        ///< Circle growth factor on double-hit.
+  int maxCircleGrowths = 24;
+};
+
+class GoafrRouter : public Router {
+ public:
+  GoafrRouter(const graph::GeometricGraph& planar, GoafrOptions options = {})
+      : g_(planar), rot_(planar), opt_(options) {}
+
+  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  std::string name() const override { return "goafr+"; }
+
+ private:
+  /// One face-routing phase from the local minimum `u`. Appends hops,
+  /// returns the node from which greedy resumes (closer to target than u),
+  /// or -1 if the target is unreachable within the growth budget.
+  graph::NodeId facePhase(std::vector<graph::NodeId>& path, graph::NodeId u,
+                          graph::NodeId target);
+
+  const graph::GeometricGraph& g_;
+  graph::RotationSystem rot_;
+  GoafrOptions opt_;
+};
+
+}  // namespace hybrid::routing

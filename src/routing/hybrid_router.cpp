@@ -1,0 +1,448 @@
+#include "routing/hybrid_router.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "geom/segment.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace hybrid::routing {
+
+namespace {
+
+// Set HYBRID_ROUTER_DEBUG=1 to trace waypoint decisions on stderr.
+bool debugEnabled() {
+  static const bool on = std::getenv("HYBRID_ROUTER_DEBUG") != nullptr;
+  return on;
+}
+
+// Index of `v` in `ring`, or -1.
+int indexIn(const std::vector<graph::NodeId>& ring, graph::NodeId v) {
+  const auto it = std::find(ring.begin(), ring.end(), v);
+  return it == ring.end() ? -1 : static_cast<int>(it - ring.begin());
+}
+
+}  // namespace
+
+HybridRouter::HybridRouter(const graph::GeometricGraph& ldel,
+                           const holes::HoleAnalysis& analysis,
+                           const std::vector<abstraction::HoleAbstraction>& abstractions,
+                           const PlanarSubdivision& sub, HybridOptions options)
+    : g_(ldel),
+      analysis_(analysis),
+      abstractions_(abstractions),
+      chew_(ldel, sub),
+      opt_(options) {
+  if (opt_.mergeIntersectingHulls && opt_.sites == SiteMode::HullNodes) {
+    const auto groups = abstraction::mergeIntersectingHulls(ldel, abstractions);
+    std::vector<std::vector<graph::NodeId>> siteRings;
+    siteRings.reserve(groups.size());
+    for (const auto& g : groups) siteRings.push_back(g.hullNodes);
+    overlay_ = std::make_unique<OverlayGraph>(ldel, siteRings, analysis.holePolygons(),
+                                              opt_.edges);
+  } else {
+    overlay_ = std::make_unique<OverlayGraph>(ldel, analysis, abstractions, opt_.sites,
+                                              opt_.edges);
+  }
+
+  isHullNode_.assign(g_.numNodes(), 0);
+  holeToAbstraction_.assign(analysis.holes.size(), -1);
+  bayPolys_.resize(abstractions.size());
+  for (std::size_t ai = 0; ai < abstractions.size(); ++ai) {
+    const auto& a = abstractions[ai];
+    if (a.holeIndex >= 0) holeToAbstraction_[static_cast<std::size_t>(a.holeIndex)] =
+        static_cast<int>(ai);
+    // Mark the abstraction nodes that double as overlay sites; the hole
+    // node that intercepts a message walks the ring to the nearest one.
+    const auto& siteRing = opt_.sites == SiteMode::LocallyConvexHull
+                               ? a.locallyConvexHull
+                               : (opt_.sites == SiteMode::SimplifiedBoundary
+                                      ? a.simplifiedBoundary
+                                      : a.hullNodes);
+    for (graph::NodeId v : siteRing) isHullNode_[static_cast<std::size_t>(v)] = 1;
+    for (const auto& bay : a.bays) {
+      bayDS_.push_back(abstraction::pathDominatingSet(bay.chain));
+      std::vector<geom::Vec2> poly;
+      poly.push_back(g_.position(bay.hullFrom));
+      for (graph::NodeId v : bay.chain) poly.push_back(g_.position(v));
+      poly.push_back(g_.position(bay.hullTo));
+      bayPolys_[ai].emplace_back(std::move(poly));
+    }
+  }
+}
+
+std::string HybridRouter::name() const {
+  std::string n = "boundary";
+  if (opt_.sites == SiteMode::HullNodes) n = "hull";
+  if (opt_.sites == SiteMode::LocallyConvexHull) n = "lch";
+  if (opt_.sites == SiteMode::SimplifiedBoundary) n = "dp";
+  n += opt_.edges == EdgeMode::Delaunay ? "-delaunay" : "-visibility";
+  if (opt_.mergeIntersectingHulls) n += "+merged";
+  return "hybrid-" + n;
+}
+
+std::optional<HybridRouter::BayLocation> HybridRouter::locate(geom::Vec2 p) const {
+  for (std::size_t ai = 0; ai < abstractions_.size(); ++ai) {
+    const auto& a = abstractions_[ai];
+    if (a.hullPolygon.size() < 3 || !a.hullPolygon.contains(p)) continue;
+    // Hull corners themselves count as outside (they are overlay sites).
+    if (std::find(a.hullPolygon.vertices().begin(), a.hullPolygon.vertices().end(), p) !=
+        a.hullPolygon.vertices().end()) {
+      continue;
+    }
+    for (std::size_t bi = 0; bi < bayPolys_[ai].size(); ++bi) {
+      if (bayPolys_[ai][bi].contains(p)) {
+        return BayLocation{static_cast<int>(ai), static_cast<int>(bi)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool HybridRouter::chewOrFallback(std::vector<graph::NodeId>& path, graph::NodeId target,
+                                  int* fallbacks) const {
+  if (path.back() == target) return true;
+  int blocked = -1;
+  if (chew_.extend(path, target, &blocked)) return true;
+  const auto sp = graph::astarPath(g_, path.back(), target);
+  if (sp.empty()) return false;
+  path.insert(path.end(), sp.begin() + 1, sp.end());
+  ++(*fallbacks);
+  return true;
+}
+
+void HybridRouter::ringWalkToHullNode(std::vector<graph::NodeId>& path, int holeIdx) const {
+  const int ai = holeToAbstraction_[static_cast<std::size_t>(holeIdx)];
+  if (ai < 0) return;
+  const auto& ring = analysis_.holes[static_cast<std::size_t>(holeIdx)].ring;
+  const graph::NodeId cur = path.back();
+  if (isHullNode_[static_cast<std::size_t>(cur)] != 0) return;
+  const int start = indexIn(ring, cur);
+  if (start < 0) return;
+
+  // Walk both directions along the ring; stop at the nearest hull node.
+  const int n = static_cast<int>(ring.size());
+  std::vector<graph::NodeId> fwd;
+  std::vector<graph::NodeId> bwd;
+  for (int step = 1; step < n; ++step) {
+    const graph::NodeId f = ring[static_cast<std::size_t>((start + step) % n)];
+    fwd.push_back(f);
+    if (isHullNode_[static_cast<std::size_t>(f)] != 0) break;
+  }
+  for (int step = 1; step < n; ++step) {
+    const graph::NodeId b = ring[static_cast<std::size_t>((start - step % n + n) % n)];
+    bwd.push_back(b);
+    if (isHullNode_[static_cast<std::size_t>(b)] != 0) break;
+  }
+  const bool fwdOk = !fwd.empty() && isHullNode_[static_cast<std::size_t>(fwd.back())] != 0;
+  const bool bwdOk = !bwd.empty() && isHullNode_[static_cast<std::size_t>(bwd.back())] != 0;
+  const std::vector<graph::NodeId>* pick = nullptr;
+  if (fwdOk && (!bwdOk || fwd.size() <= bwd.size())) {
+    pick = &fwd;
+  } else if (bwdOk) {
+    pick = &bwd;
+  }
+  if (pick != nullptr) path.insert(path.end(), pick->begin(), pick->end());
+}
+
+bool HybridRouter::routeViaOverlay(std::vector<graph::NodeId>& path, graph::NodeId target,
+                                   int* fallbacks) const {
+  const auto wp = overlay_->waypoints(g_.position(path.back()), g_.position(target));
+  if (!wp) {
+    return chewOrFallback(path, target, fallbacks);
+  }
+  if (debugEnabled()) {
+    std::fprintf(stderr, "[overlay] from %d to %d via:", path.back(), target);
+    for (graph::NodeId w : *wp) {
+      std::fprintf(stderr, " %d(%.1f,%.1f)", w, g_.position(w).x, g_.position(w).y);
+    }
+    std::fprintf(stderr, "\n");
+  }
+  for (graph::NodeId w : *wp) {
+    if (path.back() == w) continue;
+    if (!chewOrFallback(path, w, fallbacks)) return false;
+  }
+  return chewOrFallback(path, target, fallbacks);
+}
+
+bool HybridRouter::routeOutside(std::vector<graph::NodeId>& path, graph::NodeId target,
+                                int* fallbacks) const {
+  if (path.back() == target) return true;
+  int blocked = -1;
+  if (chew_.extend(path, target, &blocked)) return true;
+  if (blocked >= 0 && opt_.sites != SiteMode::AllHoleNodes) {
+    // §4.3: the hole node forwards the message to its neighboring
+    // abstraction (hull / locally-convex-hull) node before consulting the
+    // overlay.
+    ringWalkToHullNode(path, blocked);
+  }
+  return routeViaOverlay(path, target, fallbacks);
+}
+
+bool HybridRouter::routeWithinBay(std::vector<graph::NodeId>& path, graph::NodeId target,
+                                  const BayLocation& loc, int* fallbacks) const {
+  const graph::NodeId start = path.back();
+  if (start == target) return true;
+  int blocked = -1;
+  if (chew_.extend(path, target, &blocked)) return true;  // visible pair
+
+  const auto& a = abstractions_[static_cast<std::size_t>(loc.abstraction)];
+  if (blocked < 0 || blocked != a.holeIndex) {
+    // Blocked by something other than this bay's hole: give up on the bay
+    // machinery for this pair.
+    return chewOrFallback(path, target, fallbacks);
+  }
+  const auto& bay = a.bays[static_cast<std::size_t>(loc.bay)];
+
+  // Full chain including the hull endpoints, in ring order.
+  std::vector<graph::NodeId> full;
+  full.reserve(bay.chain.size() + 2);
+  full.push_back(bay.hullFrom);
+  full.insert(full.end(), bay.chain.begin(), bay.chain.end());
+  full.push_back(bay.hullTo);
+
+  // Intersections S (closest to s) and T (closest to t) of the segment
+  // with the bay's stretch of the hole boundary (§4.4).
+  const geom::Vec2 ps = g_.position(start);
+  const geom::Vec2 pt = g_.position(target);
+  const geom::Vec2 dir = pt - ps;
+  const double len2 = dir.norm2();
+  double sParam = std::numeric_limits<double>::infinity();
+  double tParam = -std::numeric_limits<double>::infinity();
+  int sEdge = -1;
+  int tEdge = -1;
+  for (std::size_t i = 0; i + 1 < full.size(); ++i) {
+    const geom::Segment e{g_.position(full[i]), g_.position(full[i + 1])};
+    if (!geom::segmentsIntersect({ps, pt}, e)) continue;
+    const auto ip = geom::segmentIntersectionPoint({ps, pt}, e);
+    if (!ip) continue;
+    const double param = (*ip - ps).dot(dir) / len2;
+    if (param < sParam) {
+      sParam = param;
+      sEdge = static_cast<int>(i);
+    }
+    if (param > tParam) {
+      tParam = param;
+      tEdge = static_cast<int>(i);
+    }
+  }
+  if (sEdge < 0) return chewOrFallback(path, target, fallbacks);
+
+  // P1 / Pt: dominating-set nodes with minimal chain distance to S / T.
+  std::size_t flatBay = 0;
+  for (int ai2 = 0; ai2 < loc.abstraction; ++ai2) {
+    flatBay += abstractions_[static_cast<std::size_t>(ai2)].bays.size();
+  }
+  flatBay += static_cast<std::size_t>(loc.bay);
+  const auto& ds = bayDS_[flatBay];
+  auto nearestAnchor = [&](int edgeIdx) -> int {
+    // Prefer a DS node; fall back to the chain node at the edge.
+    int bestIdx = -1;
+    int bestDist = std::numeric_limits<int>::max();
+    for (graph::NodeId d : ds) {
+      const int di = indexIn(full, d);
+      if (di < 0) continue;
+      const int distIdx = std::abs(di - edgeIdx);
+      if (distIdx < bestDist) {
+        bestDist = distIdx;
+        bestIdx = di;
+      }
+    }
+    if (bestIdx < 0) bestIdx = edgeIdx;
+    return bestIdx;
+  };
+  const int p1Idx = nearestAnchor(sEdge);
+  const int ptIdx = nearestAnchor(tEdge);
+
+  // Extreme points: convex hull corners of the boundary stretch between
+  // P1 and Pt, visited in chain order.
+  const int lo = std::min(p1Idx, ptIdx);
+  const int hi = std::max(p1Idx, ptIdx);
+  std::vector<geom::Vec2> stretch;
+  for (int i = lo; i <= hi; ++i) {
+    stretch.push_back(g_.position(full[static_cast<std::size_t>(i)]));
+  }
+  std::vector<graph::NodeId> waypoints;
+  waypoints.push_back(full[static_cast<std::size_t>(p1Idx)]);
+  if (stretch.size() >= 3) {
+    const auto hullIdx = geom::convexHullIndices(stretch);
+    std::vector<char> onHull(stretch.size(), 0);
+    for (int i : hullIdx) onHull[static_cast<std::size_t>(i)] = 1;
+    if (p1Idx <= ptIdx) {
+      for (int i = p1Idx + 1; i < ptIdx; ++i) {
+        if (onHull[static_cast<std::size_t>(i - lo)]) {
+          waypoints.push_back(full[static_cast<std::size_t>(i)]);
+        }
+      }
+    } else {
+      for (int i = p1Idx - 1; i > ptIdx; --i) {
+        if (onHull[static_cast<std::size_t>(i - lo)]) {
+          waypoints.push_back(full[static_cast<std::size_t>(i)]);
+        }
+      }
+    }
+  }
+  waypoints.push_back(full[static_cast<std::size_t>(ptIdx)]);
+
+  // Compress the waypoint sequence by visibility: from each kept waypoint
+  // jump to the farthest later waypoint it can see, and stop at the first
+  // waypoint that sees the target (the paper's E_t rule). This keeps the
+  // extreme-point structure of §4.4 but skips dips of the boundary stretch
+  // that the straight route can bypass (e.g. further gaps of a comb).
+  const auto& vis = overlay_->visibility();
+  std::vector<graph::NodeId> compressed;
+  std::size_t pos = 0;
+  compressed.push_back(waypoints[0]);
+  while (!vis.visible(g_.position(waypoints[pos]), pt)) {
+    std::size_t next = pos + 1;
+    for (std::size_t j = waypoints.size(); j-- > pos + 1;) {
+      if (vis.visible(g_.position(waypoints[pos]), g_.position(waypoints[j]))) {
+        next = j;
+        break;
+      }
+    }
+    if (next >= waypoints.size()) break;
+    compressed.push_back(waypoints[next]);
+    pos = next;
+  }
+  waypoints = std::move(compressed);
+  bayExtremes_ += std::max(0, static_cast<int>(waypoints.size()) - 1);
+  if (debugEnabled()) {
+    std::fprintf(stderr, "[bay %d/%d] %d->%d blockedAt=%d wp:", loc.abstraction, loc.bay,
+                 start, target, path.back());
+    for (graph::NodeId w : waypoints) {
+      std::fprintf(stderr, " %d(%.1f,%.1f)", w, g_.position(w).x, g_.position(w).y);
+    }
+    std::fprintf(stderr, "\n");
+  }
+
+  // The corridor walk stopped on the hole boundary; walk the ring to P1.
+  const graph::NodeId x = path.back();
+  const int xIdx = indexIn(full, x);
+  if (xIdx >= 0) {
+    const int stepDir = p1Idx >= xIdx ? 1 : -1;
+    for (int i = xIdx + stepDir; i != p1Idx + stepDir; i += stepDir) {
+      path.push_back(full[static_cast<std::size_t>(i)]);
+    }
+  } else if (!chewOrFallback(path, waypoints.front(), fallbacks)) {
+    return false;
+  }
+
+  for (graph::NodeId w : waypoints) {
+    if (path.back() == w) continue;
+    if (!chewOrFallback(path, w, fallbacks)) return false;
+  }
+  return chewOrFallback(path, target, fallbacks);
+}
+
+bool HybridRouter::escapeBay(std::vector<graph::NodeId>& path, const BayLocation& loc,
+                             geom::Vec2 towards, int* fallbacks) const {
+  const auto& bay =
+      abstractions_[static_cast<std::size_t>(loc.abstraction)].bays[static_cast<std::size_t>(loc.bay)];
+  const geom::Vec2 cur = g_.position(path.back());
+  const double costFrom = geom::dist(cur, g_.position(bay.hullFrom)) +
+                          geom::dist(g_.position(bay.hullFrom), towards);
+  const double costTo = geom::dist(cur, g_.position(bay.hullTo)) +
+                        geom::dist(g_.position(bay.hullTo), towards);
+  const graph::NodeId exit = costFrom <= costTo ? bay.hullFrom : bay.hullTo;
+  return routeWithinBay(path, exit, loc, fallbacks);
+}
+
+RouteResult HybridRouter::route(graph::NodeId source, graph::NodeId target) {
+  RouteResult r;
+  r.path.push_back(source);
+  bayExtremes_ = 0;
+  if (source == target) {
+    r.delivered = true;
+    return r;
+  }
+  if (g_.hasEdge(source, target)) {  // direct neighbors: one ad hoc hop
+    r.path.push_back(target);
+    r.delivered = true;
+    return r;
+  }
+
+  const auto locS = opt_.bayRouting ? locate(g_.position(source)) : std::nullopt;
+  const auto locT = opt_.bayRouting ? locate(g_.position(target)) : std::nullopt;
+
+  bool ok = false;
+  if (!locS && !locT) {
+    r.protocolCase = 1;
+    ok = routeOutside(r.path, target, &r.fallbacks);  // case 1
+  } else if (locS && !locT) {  // case 2 (source inside)
+    r.protocolCase = 2;
+    ok = escapeBay(r.path, *locS, g_.position(target), &r.fallbacks) &&
+         routeOutside(r.path, target, &r.fallbacks);
+  } else if (!locS && locT) {  // case 2 (target inside)
+    r.protocolCase = 2;
+    const auto& bay = abstractions_[static_cast<std::size_t>(locT->abstraction)]
+                          .bays[static_cast<std::size_t>(locT->bay)];
+    const geom::Vec2 ps = g_.position(source);
+    const geom::Vec2 pt = g_.position(target);
+    const double costFrom = geom::dist(ps, g_.position(bay.hullFrom)) +
+                            geom::dist(g_.position(bay.hullFrom), pt);
+    const double costTo = geom::dist(ps, g_.position(bay.hullTo)) +
+                          geom::dist(g_.position(bay.hullTo), pt);
+    const graph::NodeId entry = costFrom <= costTo ? bay.hullFrom : bay.hullTo;
+    ok = routeOutside(r.path, entry, &r.fallbacks) &&
+         routeWithinBay(r.path, target, *locT, &r.fallbacks);
+  } else if (locS->abstraction == locT->abstraction && locS->bay == locT->bay) {
+    r.protocolCase = 5;
+    ok = routeWithinBay(r.path, target, *locS, &r.fallbacks);  // case 5
+  } else {  // cases 3 and 4
+    r.protocolCase = locS->abstraction == locT->abstraction ? 4 : 3;
+    const auto& bayT = abstractions_[static_cast<std::size_t>(locT->abstraction)]
+                           .bays[static_cast<std::size_t>(locT->bay)];
+    ok = escapeBay(r.path, *locS, g_.position(target), &r.fallbacks);
+    if (ok) {
+      const geom::Vec2 cur = g_.position(r.path.back());
+      const geom::Vec2 pt = g_.position(target);
+      const double costFrom = geom::dist(cur, g_.position(bayT.hullFrom)) +
+                              geom::dist(g_.position(bayT.hullFrom), pt);
+      const double costTo = geom::dist(cur, g_.position(bayT.hullTo)) +
+                            geom::dist(g_.position(bayT.hullTo), pt);
+      const graph::NodeId entry = costFrom <= costTo ? bayT.hullFrom : bayT.hullTo;
+      ok = routeOutside(r.path, entry, &r.fallbacks) &&
+           routeWithinBay(r.path, target, *locT, &r.fallbacks);
+    }
+  }
+  if (!ok) {
+    // Last-resort fallback keeps the router total; counted for reporting.
+    const auto sp = graph::astarPath(g_, r.path.back(), target);
+    if (!sp.empty()) {
+      r.path.insert(r.path.end(), sp.begin() + 1, sp.end());
+      ++r.fallbacks;
+    }
+  }
+  r.delivered = r.path.back() == target;
+  r.bayExtremePoints = bayExtremes_;
+  if (r.delivered && opt_.prunePaths) prunePath(r.path);
+  return r;
+}
+
+void HybridRouter::prunePath(std::vector<graph::NodeId>& path) const {
+  // Greedy shortcutting: from each node, jump to the farthest later path
+  // node that is a direct neighbor. Local: every node only consults its
+  // own adjacency while holding the (source-routed) remainder of the path.
+  if (path.size() < 3) return;
+  std::vector<graph::NodeId> pruned;
+  pruned.push_back(path.front());
+  std::size_t i = 0;
+  while (i + 1 < path.size()) {
+    std::size_t next = i + 1;
+    const std::size_t window = std::min(path.size() - 1, i + 24);
+    for (std::size_t j = window; j > i + 1; --j) {
+      if (g_.hasEdge(path[i], path[j])) {
+        next = j;
+        break;
+      }
+    }
+    pruned.push_back(path[next]);
+    i = next;
+  }
+  path = std::move(pruned);
+}
+
+}  // namespace hybrid::routing

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "abstraction/dominating_set.hpp"
+#include "abstraction/hull_groups.hpp"
+#include "abstraction/hole_abstraction.hpp"
+#include "routing/chew.hpp"
+#include "routing/overlay_graph.hpp"
+#include "routing/router.hpp"
+
+namespace hybrid::routing {
+
+/// Configuration of the hole-abstraction routing protocol.
+struct HybridOptions {
+  SiteMode sites = SiteMode::HullNodes;   ///< §4 (hulls) or §3 (all hole nodes).
+  EdgeMode edges = EdgeMode::Delaunay;    ///< Overlay edges: O(h) vs Theta(h^2).
+  bool bayRouting = true;                 ///< §4.4 cases 2-5 handling.
+  /// Extension (paper §7 future work): merge transitively intersecting
+  /// hulls into groups and build the overlay from the merged hulls. Only
+  /// meaningful with SiteMode::HullNodes.
+  bool mergeIntersectingHulls = false;
+  /// Post-process delivered paths by shortcutting hops whose endpoints are
+  /// directly connected (classic path pruning; every node on the path can
+  /// apply it locally from its neighbor knowledge). Off by default so the
+  /// measured stretch reflects the paper's protocol alone.
+  bool prunePaths = false;
+};
+
+/// The paper's routing protocol: Chew-style corridor routing toward the
+/// target; on hitting a radio hole, hand off to the hole-abstraction
+/// overlay (visibility graph or overlay Delaunay graph of the abstraction
+/// nodes) and route Chew legs between consecutive waypoints. Sources or
+/// targets inside a convex hull are handled with the bay-area algorithm of
+/// section 4.4 (dominating set + extreme points).
+///
+/// Delivery is guaranteed: if any leg fails (numerics, protocol gaps), the
+/// router splices in a shortest-path fallback and counts it in
+/// RouteResult::fallbacks so experiments can report protocol coverage.
+class HybridRouter : public Router {
+ public:
+  HybridRouter(const graph::GeometricGraph& ldel, const holes::HoleAnalysis& analysis,
+               const std::vector<abstraction::HoleAbstraction>& abstractions,
+               const PlanarSubdivision& sub, HybridOptions options = {});
+
+  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  std::string name() const override;
+
+  const OverlayGraph& overlay() const { return *overlay_; }
+  /// Dominating sets per bay, flattened in (abstraction, bay) order.
+  const std::vector<std::vector<graph::NodeId>>& bayDominatingSets() const {
+    return bayDS_;
+  }
+
+  /// Location of a point relative to the hole abstraction.
+  struct BayLocation {
+    int abstraction = -1;  ///< Index into the abstraction list.
+    int bay = -1;          ///< Bay index within the abstraction.
+  };
+  /// The bay containing `p`, if p lies inside some hole's convex hull.
+  std::optional<BayLocation> locate(geom::Vec2 p) const;
+
+ private:
+  // Routing helpers; each extends `path` (whose back() is the current
+  // node) and returns true on arrival at `target`.
+  bool chewOrFallback(std::vector<graph::NodeId>& path, graph::NodeId target,
+                      int* fallbacks) const;
+  bool routeOutside(std::vector<graph::NodeId>& path, graph::NodeId target,
+                    int* fallbacks) const;
+  bool routeViaOverlay(std::vector<graph::NodeId>& path, graph::NodeId target,
+                       int* fallbacks) const;
+  bool routeWithinBay(std::vector<graph::NodeId>& path, graph::NodeId target,
+                      const BayLocation& loc, int* fallbacks) const;
+  bool escapeBay(std::vector<graph::NodeId>& path, const BayLocation& loc,
+                 geom::Vec2 towards, int* fallbacks) const;
+  void ringWalkToHullNode(std::vector<graph::NodeId>& path, int holeIdx) const;
+  void prunePath(std::vector<graph::NodeId>& path) const;
+
+  const graph::GeometricGraph& g_;
+  const holes::HoleAnalysis& analysis_;
+  const std::vector<abstraction::HoleAbstraction>& abstractions_;
+  ChewRouter chew_;
+  std::unique_ptr<OverlayGraph> overlay_;
+  HybridOptions opt_;
+  /// |E_route| of the most recent bay-area leg (reset per route()).
+  mutable int bayExtremes_ = 0;
+
+  std::vector<std::vector<graph::NodeId>> bayDS_;
+  std::vector<std::vector<geom::Polygon>> bayPolys_;  ///< Per abstraction.
+  std::vector<char> isHullNode_;
+  /// Maps a hole index (analysis order) to its abstraction index.
+  std::vector<int> holeToAbstraction_;
+};
+
+}  // namespace hybrid::routing

@@ -1,0 +1,206 @@
+#include "routing/overlay_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "delaunay/triangulation.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace hybrid::routing {
+
+OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
+                           const holes::HoleAnalysis& analysis,
+                           const std::vector<abstraction::HoleAbstraction>& abstractions,
+                           SiteMode siteMode, EdgeMode edgeMode)
+    : vis_(analysis.holePolygons()), edgeMode_(edgeMode) {
+  // Collect sites and remember per-site local index.
+  std::map<graph::NodeId, int> local;
+  auto addSite = [&](graph::NodeId v) {
+    if (local.contains(v)) return local.at(v);
+    const int idx = static_cast<int>(sites_.size());
+    local[v] = idx;
+    sites_.push_back(v);
+    sitePos_.push_back(ldel.position(v));
+    return idx;
+  };
+
+  filterBackbone_ = siteMode == SiteMode::SimplifiedBoundary;
+  if (siteMode != SiteMode::AllHoleNodes) {
+    auto ringOf = [&](const abstraction::HoleAbstraction& a)
+        -> const std::vector<graph::NodeId>& {
+      switch (siteMode) {
+        case SiteMode::LocallyConvexHull:
+          return a.locallyConvexHull;
+        case SiteMode::SimplifiedBoundary:
+          return a.simplifiedBoundary;
+        default:
+          return a.hullNodes;
+      }
+    };
+    for (const auto& a : abstractions) {
+      for (graph::NodeId v : ringOf(a)) addSite(v);
+    }
+    // Backbone: consecutive abstraction nodes of the same hole.
+    for (const auto& a : abstractions) {
+      const auto& ring = ringOf(a);
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        const int u = local.at(ring[i]);
+        const int v = local.at(ring[(i + 1) % ring.size()]);
+        if (ring.size() > 1) backboneEdges_.emplace_back(u, v);
+      }
+    }
+  } else {
+    for (const auto& h : analysis.holes) {
+      for (graph::NodeId v : h.ring) addSite(v);
+    }
+    // Backbone: consecutive ring nodes of the same hole.
+    for (const auto& h : analysis.holes) {
+      for (std::size_t i = 0; i < h.ring.size(); ++i) {
+        const graph::NodeId a = h.ring[i];
+        const graph::NodeId b = h.ring[(i + 1) % h.ring.size()];
+        if (a != b) backboneEdges_.emplace_back(local.at(a), local.at(b));
+      }
+    }
+  }
+
+  buildSiteEdges();
+}
+
+OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
+                           const std::vector<std::vector<graph::NodeId>>& siteRings,
+                           std::vector<geom::Polygon> obstacles, EdgeMode edgeMode)
+    : vis_(std::move(obstacles)), edgeMode_(edgeMode) {
+  std::map<graph::NodeId, int> local;
+  for (const auto& ring : siteRings) {
+    for (graph::NodeId v : ring) {
+      if (local.contains(v)) continue;
+      local[v] = static_cast<int>(sites_.size());
+      sites_.push_back(v);
+      sitePos_.push_back(ldel.position(v));
+    }
+  }
+  for (const auto& ring : siteRings) {
+    if (ring.size() < 2) continue;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      backboneEdges_.emplace_back(local.at(ring[i]),
+                                  local.at(ring[(i + 1) % ring.size()]));
+    }
+  }
+  buildSiteEdges();
+}
+
+void OverlayGraph::buildSiteEdges() {
+  if (edgeMode_ == EdgeMode::Visibility) {
+    siteAdj_ = geom::buildVisibilityAdjacency(sitePos_, vis_);
+    for (const auto& a : siteAdj_) precomputedEdges_ += a.size();
+    precomputedEdges_ /= 2;
+  } else {
+    // Delaunay of the sites; keep only hole-free edges, plus the backbone.
+    if (sitePos_.size() >= 3) {
+      const delaunay::DelaunayTriangulation dt(sitePos_);
+      siteAdj_.assign(sitePos_.size(), {});
+      for (const auto& [u, v] : dt.edges()) {
+        if (vis_.visible(sitePos_[static_cast<std::size_t>(u)],
+                         sitePos_[static_cast<std::size_t>(v)])) {
+          siteAdj_[static_cast<std::size_t>(u)].push_back(v);
+          siteAdj_[static_cast<std::size_t>(v)].push_back(u);
+          ++precomputedEdges_;
+        }
+      }
+    } else {
+      siteAdj_.assign(sitePos_.size(), {});
+    }
+  }
+}
+
+OverlayGraph::Query OverlayGraph::buildQueryGraph(geom::Vec2 from, geom::Vec2 to) const {
+  Query q;
+  // Reuse a site when the endpoint coincides with it (e.g. routing from a
+  // hull node), so the triangulation never sees duplicate points.
+  int fromSite = -1;
+  int toSite = -1;
+  for (int i = 0; i < static_cast<int>(sitePos_.size()); ++i) {
+    if (sitePos_[static_cast<std::size_t>(i)] == from) fromSite = i;
+    if (sitePos_[static_cast<std::size_t>(i)] == to) toSite = i;
+  }
+
+  std::vector<geom::Vec2> pts = sitePos_;
+  q.fromIdx = fromSite >= 0 ? fromSite : static_cast<int>(pts.size());
+  if (fromSite < 0) pts.push_back(from);
+  q.toIdx = toSite >= 0 ? toSite : static_cast<int>(pts.size());
+  if (toSite < 0 && !(from == to)) pts.push_back(to);
+  if (toSite < 0 && from == to) q.toIdx = q.fromIdx;
+
+  q.g = graph::GeometricGraph(pts);
+  const int ns = static_cast<int>(sitePos_.size());
+
+  if (edgeMode_ == EdgeMode::Visibility || pts.size() < 3) {
+    for (int i = 0; i < ns; ++i) {
+      for (int j : siteAdj_[static_cast<std::size_t>(i)]) {
+        if (j > i) q.g.addEdge(i, j);
+      }
+    }
+    for (const int endpoint : {q.fromIdx, q.toIdx}) {
+      if (endpoint < ns) continue;  // endpoint is itself a site
+      for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+        if (i == endpoint) continue;
+        if (vis_.visible(pts[static_cast<std::size_t>(endpoint)],
+                         pts[static_cast<std::size_t>(i)])) {
+          q.g.addEdge(endpoint, i);
+        }
+      }
+    }
+    // When both endpoints are existing sites the site adjacency covers them.
+    if (q.fromIdx < ns && q.toIdx < ns) return q;
+    return q;
+  }
+
+  // Delaunay mode: re-triangulate sites + endpoints and prune hole-crossing
+  // edges; keep the (hole-free) backbone.
+  const delaunay::DelaunayTriangulation dt(pts);
+  for (const auto& [u, v] : dt.edges()) {
+    if (vis_.visible(pts[static_cast<std::size_t>(u)], pts[static_cast<std::size_t>(v)])) {
+      q.g.addEdge(u, v);
+    }
+  }
+  // The backbone (consecutive abstraction nodes of one hole) is kept
+  // unconditionally for hull/lch/ring sites: a chord between adjacent hull
+  // corners cannot cross its own hole's interior, and when boundary
+  // slivers make hulls intersect, keeping the chord beats detouring the
+  // whole overlay (the Chew leg slides around the sliver locally).
+  // Douglas-Peucker backbones can genuinely cut through their hole, so
+  // they are visibility-filtered.
+  for (const auto& [u, v] : backboneEdges_) {
+    if (filterBackbone_ &&
+        !vis_.visible(pts[static_cast<std::size_t>(u)], pts[static_cast<std::size_t>(v)])) {
+      continue;
+    }
+    q.g.addEdge(u, v);
+  }
+  return q;
+}
+
+std::optional<std::vector<graph::NodeId>> OverlayGraph::waypoints(geom::Vec2 from,
+                                                                  geom::Vec2 to) const {
+  if (from == to) return std::vector<graph::NodeId>{};
+  const Query q = buildQueryGraph(from, to);
+  const auto tree = graph::dijkstra(q.g, q.fromIdx, q.toIdx);
+  const auto path = tree.pathTo(q.toIdx);
+  if (path.empty() && q.fromIdx != q.toIdx) return std::nullopt;
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v : path) {
+    if (v == q.fromIdx || v == q.toIdx) continue;
+    if (v < static_cast<int>(sites_.size())) out.push_back(sites_[static_cast<std::size_t>(v)]);
+  }
+  return out;
+}
+
+double OverlayGraph::overlayDistance(geom::Vec2 from, geom::Vec2 to) const {
+  if (from == to) return 0.0;
+  const Query q = buildQueryGraph(from, to);
+  return graph::dijkstra(q.g, q.fromIdx, q.toIdx).dist[static_cast<std::size_t>(q.toIdx)];
+}
+
+}  // namespace hybrid::routing

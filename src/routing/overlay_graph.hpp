@@ -1,0 +1,83 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "abstraction/hole_abstraction.hpp"
+#include "geom/visibility.hpp"
+#include "graph/graph.hpp"
+#include "holes/hole_detection.hpp"
+
+namespace hybrid::routing {
+
+/// Which nodes form the abstraction overlay.
+enum class SiteMode {
+  HullNodes,          ///< Convex hull nodes of each hole (paper section 4).
+  AllHoleNodes,       ///< Every hole boundary node (paper section 3).
+  LocallyConvexHull,  ///< Locally convex hulls (Def. 4.1): the intermediate
+                      ///< abstraction of section 4.1 — O(A) nodes per hole.
+  SimplifiedBoundary, ///< Douglas-Peucker simplified boundary (extension).
+};
+
+/// How overlay sites are connected.
+enum class EdgeMode {
+  Visibility,  ///< Full visibility graph: Theta(h^2) edges, 17.7-competitive.
+  Delaunay,    ///< Delaunay of the sites: O(h) edges, 35.37-competitive.
+};
+
+/// The long-range overlay used to plan around radio holes. Sites are hole
+/// abstraction nodes; a waypoint query inserts the source and target and
+/// returns the intermediate sites of a shortest overlay path.
+class OverlayGraph {
+ public:
+  OverlayGraph(const graph::GeometricGraph& ldel, const holes::HoleAnalysis& analysis,
+               const std::vector<abstraction::HoleAbstraction>& abstractions,
+               SiteMode siteMode, EdgeMode edgeMode);
+
+  /// Custom-site overlay (used by the intersecting-hulls extension):
+  /// `siteRings` lists the abstraction node rings (e.g. merged hull
+  /// corners, ccw); consecutive ring members form the backbone. Visibility
+  /// is still evaluated against the radio-hole polygons.
+  OverlayGraph(const graph::GeometricGraph& ldel,
+               const std::vector<std::vector<graph::NodeId>>& siteRings,
+               std::vector<geom::Polygon> obstacles, EdgeMode edgeMode);
+
+  /// Site node ids (into the LDel graph) of the shortest overlay path from
+  /// `from` to `to`, excluding the endpoints themselves. nullopt if the
+  /// overlay is disconnected between them (should not happen for disjoint
+  /// convex hulls).
+  std::optional<std::vector<graph::NodeId>> waypoints(geom::Vec2 from, geom::Vec2 to) const;
+
+  /// Euclidean length of the shortest overlay path (for analysis).
+  double overlayDistance(geom::Vec2 from, geom::Vec2 to) const;
+
+  const std::vector<graph::NodeId>& sites() const { return sites_; }
+  std::size_t numPrecomputedEdges() const { return precomputedEdges_; }
+  const geom::VisibilityContext& visibility() const { return vis_; }
+
+ private:
+  struct Query {
+    graph::GeometricGraph g;  ///< sites + possibly from/to appended
+    int fromIdx = -1;
+    int toIdx = -1;
+  };
+  Query buildQueryGraph(geom::Vec2 from, geom::Vec2 to) const;
+  void buildSiteEdges();
+
+  std::vector<graph::NodeId> sites_;
+  std::vector<geom::Vec2> sitePos_;
+  geom::VisibilityContext vis_;
+  EdgeMode edgeMode_;
+  /// Site-to-site adjacency (visibility mode precomputes it; Delaunay mode
+  /// re-triangulates per query because inserting s and t changes edges).
+  std::vector<std::vector<int>> siteAdj_;
+  /// Ring/hull consecutive edges that are always present.
+  std::vector<std::pair<int, int>> backboneEdges_;
+  /// Douglas-Peucker backbones may cut through their own hole (the
+  /// tolerance allows chords across convex bumps), so they are
+  /// visibility-filtered; hull/lch/ring backbones never cross their hole.
+  bool filterBackbone_ = false;
+  std::size_t precomputedEdges_ = 0;
+};
+
+}  // namespace hybrid::routing

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hybrid::routing {
+
+/// Outcome of one routing attempt. `path` always starts at the source and
+/// lists every ad hoc hop taken; when `delivered` it ends at the target.
+struct RouteResult {
+  std::vector<graph::NodeId> path;
+  bool delivered = false;
+  /// Hole index blocking the corridor walk (Chew); -1 when not blocked or
+  /// blocked by the outer face / an unmatched face.
+  int blockedHole = -1;
+  /// Number of times a global fallback (A* on the full graph) was needed.
+  /// Zero in normal operation; nonzero values flag protocol gaps.
+  int fallbacks = 0;
+  /// Extreme points |E_route| traversed by the bay-area algorithm (§4.4);
+  /// the paper's Lemma 4.19 bound is (2 + |E_route|) * 5.9.
+  int bayExtremePoints = 0;
+  /// Which case of the §4.3 analysis applied (0 = trivial/self/adjacent):
+  /// 1 both outside hulls, 2 one endpoint inside a hull, 3/4 different
+  /// hulls or bays, 5 same bay. Set by HybridRouter only.
+  int protocolCase = 0;
+
+  double length(const graph::GeometricGraph& g) const { return g.pathLength(path); }
+  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+/// Common interface for all routing strategies.
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual RouteResult route(graph::NodeId source, graph::NodeId target) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hybrid::routing

@@ -1,0 +1,15 @@
+#include "routing/server_oracle.hpp"
+
+#include "graph/shortest_path.hpp"
+
+namespace hybrid::routing {
+
+RouteResult ServerOracleRouter::route(graph::NodeId source, graph::NodeId target) {
+  RouteResult r;
+  r.path = graph::astarPath(g_, source, target);
+  if (r.path.empty()) r.path.push_back(source);
+  r.delivered = !r.path.empty() && r.path.back() == target;
+  return r;
+}
+
+}  // namespace hybrid::routing

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace hybrid::routing {
+
+/// The paper's §1 strawman: every node regularly uploads its position and
+/// neighborhood to a server over long-range links; the server answers
+/// next-hop queries with globally optimal paths. Routing quality is
+/// optimal by construction — the point of comparing against it is the
+/// *long-range* message bill, which the hybrid protocol avoids
+/// (bench/e15_server_comparison).
+class ServerOracleRouter : public Router {
+ public:
+  explicit ServerOracleRouter(const graph::GeometricGraph& udg) : g_(udg) {}
+
+  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  std::string name() const override { return "server-oracle"; }
+
+  /// Long-range messages for one position/neighborhood upload epoch:
+  /// one per node (the paper: "all nodes regularly post their geographic
+  /// position and the nodes within their communication range").
+  long uploadMessagesPerEpoch() const { return static_cast<long>(g_.numNodes()); }
+  /// Long-range words per epoch: position plus the neighbor list.
+  long uploadWordsPerEpoch() const {
+    return static_cast<long>(g_.numNodes()) * 3 + 2 * static_cast<long>(g_.numEdges());
+  }
+  /// Long-range messages per routed message: the query and the reply.
+  long queryMessages() const { return 2; }
+
+ private:
+  const graph::GeometricGraph& g_;
+};
+
+}  // namespace hybrid::routing

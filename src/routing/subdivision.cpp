@@ -1,0 +1,106 @@
+#include "routing/subdivision.hpp"
+
+#include <algorithm>
+
+#include "geom/polygon.hpp"
+
+namespace hybrid::routing {
+
+namespace {
+
+// Canonical key of a face/hole cycle: the sorted node multiset.
+std::vector<graph::NodeId> canonicalKey(std::vector<graph::NodeId> cycle) {
+  std::sort(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+}  // namespace
+
+PlanarSubdivision::PlanarSubdivision(const graph::GeometricGraph& ldel,
+                                     const holes::HoleAnalysis& analysis,
+                                     double radius)
+    : augmented_(ldel) {
+  // Close the outer-hole regions with the long hull edges (Def. 2.5).
+  std::set<std::pair<graph::NodeId, graph::NodeId>> synthetic;
+  const auto hullIdx = geom::convexHullIndices(ldel.positions());
+  for (std::size_t i = 0; i < hullIdx.size(); ++i) {
+    const graph::NodeId a = hullIdx[i];
+    const graph::NodeId b = hullIdx[(i + 1) % hullIdx.size()];
+    if (augmented_.edgeLength(a, b) > radius && !augmented_.hasEdge(a, b)) {
+      augmented_.addEdge(a, b);
+      synthetic.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+
+  faces_ = graph::enumerateFaces(augmented_);
+  nodeFaces_.assign(augmented_.numNodes(), {});
+  walkable_.assign(faces_.size(), 0);
+  faceHole_.assign(faces_.size(), -1);
+  facePolys_.resize(faces_.size());
+
+  std::map<std::vector<graph::NodeId>, int> holeByKey;
+  for (std::size_t hi = 0; hi < analysis.holes.size(); ++hi) {
+    holeByKey[canonicalKey(analysis.holes[hi].ring)] = static_cast<int>(hi);
+  }
+
+  for (std::size_t fi = 0; fi < faces_.size(); ++fi) {
+    const auto& cycle = faces_[fi].cycle;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const graph::NodeId u = cycle[i];
+      const graph::NodeId v = cycle[(i + 1) % cycle.size()];
+      faceOfEdge_[{u, v}] = static_cast<int>(fi);
+      auto& nf = nodeFaces_[static_cast<std::size_t>(u)];
+      if (std::find(nf.begin(), nf.end(), static_cast<int>(fi)) == nf.end()) {
+        nf.push_back(static_cast<int>(fi));
+      }
+    }
+    std::vector<geom::Vec2> pts;
+    pts.reserve(cycle.size());
+    for (graph::NodeId v : cycle) pts.push_back(augmented_.position(v));
+    facePolys_[fi] = geom::Polygon(std::move(pts));
+
+    if (faces_[fi].outer) continue;
+    // A face is walkable iff it is a triangle of real (non-synthetic)
+    // communication edges.
+    std::set<graph::NodeId> distinct(cycle.begin(), cycle.end());
+    bool allReal = true;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      graph::NodeId a = cycle[i];
+      graph::NodeId b = cycle[(i + 1) % cycle.size()];
+      if (a > b) std::swap(a, b);
+      if (synthetic.contains({a, b})) {
+        allReal = false;
+        break;
+      }
+    }
+    if (distinct.size() == 3 && cycle.size() == 3 && allReal) {
+      walkable_[fi] = 1;
+    } else {
+      const auto it = holeByKey.find(canonicalKey(cycle));
+      if (it != holeByKey.end()) faceHole_[fi] = it->second;
+    }
+  }
+}
+
+int PlanarSubdivision::faceLeftOf(graph::NodeId u, graph::NodeId v) const {
+  const auto it = faceOfEdge_.find({u, v});
+  return it == faceOfEdge_.end() ? -1 : it->second;
+}
+
+int PlanarSubdivision::boundedFaceContaining(geom::Vec2 p) const {
+  for (std::size_t fi = 0; fi < faces_.size(); ++fi) {
+    if (faces_[fi].outer) continue;
+    if (facePolys_[fi].containsStrict(p)) return static_cast<int>(fi);
+  }
+  return -1;
+}
+
+int PlanarSubdivision::incidentFaceContaining(graph::NodeId v, geom::Vec2 p) const {
+  for (int fi : nodeFaces_[static_cast<std::size_t>(v)]) {
+    if (faces_[static_cast<std::size_t>(fi)].outer) continue;
+    if (facePolys_[static_cast<std::size_t>(fi)].containsStrict(p)) return fi;
+  }
+  return -1;
+}
+
+}  // namespace hybrid::routing

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/planar_faces.hpp"
+#include "holes/hole_detection.hpp"
+
+namespace hybrid::routing {
+
+/// Planar subdivision of the LDel^2 graph augmented with the long convex
+/// hull edges of V (so that every point inside the hull of V lies in a
+/// bounded face). Faces are classified as walkable triangles (all three
+/// edges are real communication edges) or hole faces (radio holes and
+/// outer holes); corridor routing walks triangles and stops at hole faces.
+class PlanarSubdivision {
+ public:
+  PlanarSubdivision(const graph::GeometricGraph& ldel,
+                    const holes::HoleAnalysis& analysis, double radius = 1.0);
+
+  const graph::GeometricGraph& augmented() const { return augmented_; }
+  const std::vector<graph::Face>& faces() const { return faces_; }
+
+  /// Face on the left of the directed edge (u, v); -1 if unknown.
+  int faceLeftOf(graph::NodeId u, graph::NodeId v) const;
+
+  /// Faces incident to a node.
+  const std::vector<int>& facesOfNode(graph::NodeId v) const {
+    return nodeFaces_[static_cast<std::size_t>(v)];
+  }
+
+  bool isWalkable(int face) const { return walkable_[static_cast<std::size_t>(face)]; }
+  bool isOuterFace(int face) const { return faces_[static_cast<std::size_t>(face)].outer; }
+
+  /// Index into the hole analysis for a hole face; -1 otherwise.
+  int holeOfFace(int face) const { return faceHole_[static_cast<std::size_t>(face)]; }
+
+  /// The bounded face containing point p strictly in its interior, or -1.
+  /// Linear scan; used for probes near a known node via facesOfNode.
+  int boundedFaceContaining(geom::Vec2 p) const;
+
+  /// Among the faces incident to `v`, the one whose interior contains `p`
+  /// (p is expected to be a probe point just off `v`); -1 if none.
+  int incidentFaceContaining(graph::NodeId v, geom::Vec2 p) const;
+
+ private:
+  graph::GeometricGraph augmented_;
+  std::vector<graph::Face> faces_;
+  std::map<std::pair<graph::NodeId, graph::NodeId>, int> faceOfEdge_;
+  std::vector<std::vector<int>> nodeFaces_;
+  std::vector<char> walkable_;
+  std::vector<int> faceHole_;
+  std::vector<geom::Polygon> facePolys_;
+};
+
+}  // namespace hybrid::routing

@@ -1,0 +1,78 @@
+#include "scenario/shapes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hybrid::scenario {
+
+geom::Polygon rectangleObstacle(geom::Vec2 lo, geom::Vec2 hi) {
+  return geom::Polygon({{lo.x, lo.y}, {hi.x, lo.y}, {hi.x, hi.y}, {lo.x, hi.y}});
+}
+
+geom::Polygon regularPolygonObstacle(geom::Vec2 center, double circumradius, int k,
+                                     double rotation) {
+  std::vector<geom::Vec2> verts;
+  verts.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const double a = rotation + 2.0 * std::numbers::pi * i / k;
+    verts.push_back({center.x + circumradius * std::cos(a),
+                     center.y + circumradius * std::sin(a)});
+  }
+  return geom::Polygon(std::move(verts));
+}
+
+geom::Polygon uShapeObstacle(geom::Vec2 c, double width, double height,
+                             double wallThickness) {
+  const double w2 = width / 2.0;
+  const double h2 = height / 2.0;
+  const double t = wallThickness;
+  // Counter-clockwise outline of a U opening upward.
+  return geom::Polygon({{c.x - w2, c.y - h2},
+                        {c.x + w2, c.y - h2},
+                        {c.x + w2, c.y + h2},
+                        {c.x + w2 - t, c.y + h2},
+                        {c.x + w2 - t, c.y - h2 + t},
+                        {c.x - w2 + t, c.y - h2 + t},
+                        {c.x - w2 + t, c.y + h2},
+                        {c.x - w2, c.y + h2}});
+}
+
+geom::Polygon combObstacle(geom::Vec2 o, int teeth, double toothWidth, double gapWidth,
+                           double depth, double barThickness) {
+  // Trace the outline counter-clockwise: along the bottom of the bar, then
+  // up and down each tooth from right to left.
+  std::vector<geom::Vec2> v;
+  const double period = toothWidth + gapWidth;
+  const double right = o.x + teeth * period - gapWidth;
+  v.push_back({o.x, o.y});
+  v.push_back({right, o.y});
+  for (int i = teeth - 1; i >= 0; --i) {
+    const double x0 = o.x + i * period;
+    const double x1 = x0 + toothWidth;
+    v.push_back({x1, o.y + barThickness + depth});
+    v.push_back({x0, o.y + barThickness + depth});
+    if (i > 0) {
+      v.push_back({x0, o.y + barThickness});
+      v.push_back({x0 - gapWidth, o.y + barThickness});
+    }
+  }
+  // The loop ends at the first tooth's top-left corner (o.x, top); the ring
+  // closes back to the bottom-left origin implicitly.
+  return geom::Polygon(std::move(v));
+}
+
+std::vector<geom::Polygon> cityBlocks(geom::Vec2 origin, int rows, int cols,
+                                      double blockW, double blockH, double streetW) {
+  std::vector<geom::Polygon> out;
+  out.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x = origin.x + c * (blockW + streetW);
+      const double y = origin.y + r * (blockH + streetW);
+      out.push_back(rectangleObstacle({x, y}, {x + blockW, y + blockH}));
+    }
+  }
+  return out;
+}
+
+}  // namespace hybrid::scenario

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace hybrid::scenario {
+
+/// Axis-aligned rectangular obstacle.
+geom::Polygon rectangleObstacle(geom::Vec2 lo, geom::Vec2 hi);
+
+/// Regular k-gon obstacle (convex), rotated by `rotation` radians.
+geom::Polygon regularPolygonObstacle(geom::Vec2 center, double circumradius, int k,
+                                     double rotation = 0.0);
+
+/// U-shaped (concave) obstacle opening upward: outer box minus an inner
+/// slot. Produces a deep bay inside the hole's convex hull — the shape that
+/// exercises the paper's bay-area routing (§4.4).
+geom::Polygon uShapeObstacle(geom::Vec2 center, double width, double height,
+                             double wallThickness);
+
+/// Comb/maze obstacle: a horizontal bar with `teeth` long prongs pointing
+/// up, forming deep corridors. Local (GOAFR-style) routing must walk the
+/// full prong depth; this realizes the lower-bound construction the paper
+/// cites (§1.4). `depth` is the prong length.
+geom::Polygon combObstacle(geom::Vec2 origin, int teeth, double toothWidth,
+                           double gapWidth, double depth, double barThickness);
+
+/// Convex obstacles laid out like city blocks: `rows` x `cols` rectangles
+/// of size blockW x blockH separated by streets of width streetW, starting
+/// at `origin`.
+std::vector<geom::Polygon> cityBlocks(geom::Vec2 origin, int rows, int cols,
+                                      double blockW, double blockH, double streetW);
+
+}  // namespace hybrid::scenario

@@ -1,0 +1,104 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hybrid::sim {
+
+Simulator::Simulator(const graph::GeometricGraph& udg) : udg_(udg) {
+  knowledge_.resize(udg.numNodes());
+  stats_.resize(udg.numNodes());
+  for (int v = 0; v < static_cast<int>(udg.numNodes()); ++v) {
+    for (int nb : udg.neighbors(v)) knowledge_[static_cast<std::size_t>(v)].insert(nb);
+  }
+}
+
+bool Simulator::knows(int v, int id) const {
+  return id == v || knowledge_[static_cast<std::size_t>(v)].contains(id);
+}
+
+void Simulator::introduce(int v, int id) {
+  if (id != v) knowledge_[static_cast<std::size_t>(v)].insert(id);
+}
+
+void Simulator::enqueue(Message m) {
+  auto& st = stats_[static_cast<std::size_t>(m.from)];
+  if (m.link == Link::AdHoc) {
+    ++st.sentAdHoc;
+  } else {
+    ++st.sentLongRange;
+  }
+  st.sentWords += static_cast<long>(m.words());
+  pending_.push_back(std::move(m));
+}
+
+void Context::sendAdHoc(int to, Message m) {
+  if (!sim_.udg().hasEdge(self_, to)) {
+    throw std::logic_error("sendAdHoc: target is not a UDG neighbor");
+  }
+  m.from = self_;
+  m.to = to;
+  m.link = Link::AdHoc;
+  sim_.enqueue(std::move(m));
+}
+
+void Context::sendLongRange(int to, Message m) {
+  if (!sim_.knows(self_, to)) {
+    throw std::logic_error("sendLongRange: target ID unknown to sender");
+  }
+  m.from = self_;
+  m.to = to;
+  m.link = Link::LongRange;
+  sim_.enqueue(std::move(m));
+}
+
+int Simulator::run(Protocol& protocol, int maxRounds) {
+  pending_.clear();
+  for (int v = 0; v < static_cast<int>(numNodes()); ++v) {
+    Context ctx(*this, v, 0);
+    protocol.onStart(ctx);
+  }
+
+  int round = 0;
+  while (round < maxRounds && (!pending_.empty() || protocol.wantsMoreRounds())) {
+    ++round;
+    std::vector<Message> inbox = std::move(pending_);
+    pending_.clear();
+    // Deterministic delivery order: by recipient, then sender.
+    std::stable_sort(inbox.begin(), inbox.end(), [](const Message& a, const Message& b) {
+      return a.to != b.to ? a.to < b.to : a.from < b.from;
+    });
+    for (const Message& m : inbox) {
+      // The receiver learns the sender and all introduced IDs.
+      introduce(m.to, m.from);
+      for (int id : m.ids) introduce(m.to, id);
+      stats_[static_cast<std::size_t>(m.to)].receivedWords += static_cast<long>(m.words());
+      Context ctx(*this, m.to, round);
+      protocol.onMessage(ctx, m);
+    }
+    for (int v = 0; v < static_cast<int>(numNodes()); ++v) {
+      Context ctx(*this, v, round);
+      protocol.onRoundEnd(ctx);
+    }
+  }
+  lastRounds_ = round;
+  return round;
+}
+
+long Simulator::totalMessages() const {
+  long total = 0;
+  for (const auto& s : stats_) total += s.sentAdHoc + s.sentLongRange;
+  return total;
+}
+
+long Simulator::maxWordsPerNode() const {
+  long mx = 0;
+  for (const auto& s : stats_) mx = std::max(mx, s.sentWords + s.receivedWords);
+  return mx;
+}
+
+void Simulator::resetStats() {
+  stats_.assign(numNodes(), NodeStats{});
+}
+
+}  // namespace hybrid::sim

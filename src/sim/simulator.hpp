@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hybrid::sim {
+
+/// Which kind of link carries a message (paper section 1.1).
+enum class Link {
+  AdHoc,      ///< WiFi edge of the unit disk graph (free, short range).
+  LongRange,  ///< Cellular/satellite link; requires knowing the target ID.
+};
+
+/// A message in flight. Payloads are plain words; `ids` additionally
+/// carries node IDs, which the receiver learns on delivery (the paper's
+/// ID-introduction primitive is "send an ID over an edge of E").
+struct Message {
+  int from = -1;
+  int to = -1;
+  Link link = Link::AdHoc;
+  int type = 0;                     ///< Protocol-defined tag.
+  std::vector<std::int64_t> ints;   ///< Integer payload words.
+  std::vector<double> reals;        ///< Real-valued payload words.
+  std::vector<int> ids;             ///< Node IDs introduced to the receiver.
+
+  std::size_t words() const { return ints.size() + reals.size() + ids.size() + 1; }
+};
+
+/// Per-node traffic accounting.
+struct NodeStats {
+  long sentAdHoc = 0;
+  long sentLongRange = 0;
+  long sentWords = 0;
+  long receivedWords = 0;
+};
+
+class Protocol;
+
+/// Synchronous message-passing simulator over a hybrid communication
+/// graph H = (V, E, E_AH): messages sent in round i are delivered at the
+/// beginning of round i+1; each node processes its whole mailbox per round.
+///
+/// E_AH is the unit disk graph passed at construction. E (the knowledge
+/// graph) starts as E_AH — every node knows its UDG neighbors' IDs — and
+/// grows through ID-introductions carried in Message::ids. A long-range
+/// send to an unknown ID is a protocol error and throws.
+class Simulator {
+ public:
+  explicit Simulator(const graph::GeometricGraph& udg);
+
+  const graph::GeometricGraph& udg() const { return udg_; }
+  std::size_t numNodes() const { return udg_.numNodes(); }
+  geom::Vec2 position(int v) const { return udg_.position(v); }
+
+  bool knows(int v, int id) const;
+  /// Out-of-band introduction (setup only; not counted as traffic).
+  void introduce(int v, int id);
+
+  /// Runs `protocol` until no messages are in flight and no node asks to
+  /// continue, or until maxRounds. Returns the number of rounds executed.
+  int run(Protocol& protocol, int maxRounds = 1 << 20);
+
+  const std::vector<NodeStats>& stats() const { return stats_; }
+  long totalMessages() const;
+  long maxWordsPerNode() const;
+  int lastRounds() const { return lastRounds_; }
+
+  /// Resets traffic statistics (knowledge is kept).
+  void resetStats();
+
+ private:
+  friend class Context;
+  void enqueue(Message m);
+
+  const graph::GeometricGraph& udg_;
+  std::vector<std::unordered_set<int>> knowledge_;
+  std::vector<Message> pending_;
+  std::vector<NodeStats> stats_;
+  int lastRounds_ = 0;
+};
+
+/// Handle through which protocol code interacts with the simulator for one
+/// node within one round.
+class Context {
+ public:
+  Context(Simulator& sim, int self, int round) : sim_(sim), self_(self), round_(round) {}
+
+  int self() const { return self_; }
+  int round() const { return round_; }
+  geom::Vec2 position() const { return sim_.position(self_); }
+  geom::Vec2 positionOf(int v) const { return sim_.position(v); }
+  std::span<const int> udgNeighbors() const { return sim_.udg().neighbors(self_); }
+  std::size_t networkSize() const { return sim_.numNodes(); }
+  bool knows(int id) const { return sim_.knows(self_, id); }
+
+  /// Sends over an ad hoc edge; `to` must be a UDG neighbor.
+  void sendAdHoc(int to, Message m);
+  /// Sends over a long-range link; `to` must be known to this node.
+  void sendLongRange(int to, Message m);
+
+ private:
+  Simulator& sim_;
+  int self_;
+  int round_;
+};
+
+/// A distributed protocol: per-node event handlers. Handlers may send
+/// messages; sends made while processing round i are delivered in round
+/// i+1. State is owned by the protocol object (indexed by node).
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  /// Called once per node before round 1.
+  virtual void onStart(Context& ctx) = 0;
+  /// Called for each delivered message.
+  virtual void onMessage(Context& ctx, const Message& m) = 0;
+  /// Called for every node after its mailbox was processed each round.
+  virtual void onRoundEnd(Context& ctx) { (void)ctx; }
+  /// Return true from any node to keep the simulation alive even with an
+  /// empty message queue (e.g. fixed-schedule phases).
+  virtual bool wantsMoreRounds() const { return false; }
+};
+
+}  // namespace hybrid::sim

@@ -1,0 +1,54 @@
+#include "spatial/grid_index.hpp"
+
+#include <cmath>
+
+namespace hybrid::spatial {
+
+namespace {
+std::int64_t packCell(std::int64_t cx, std::int64_t cy) {
+  // Interleave-free packing: 32 bits per axis, biased to stay positive.
+  return ((cx + 0x40000000LL) << 32) | ((cy + 0x40000000LL) & 0xFFFFFFFFLL);
+}
+}  // namespace
+
+GridIndex::GridIndex(const std::vector<geom::Vec2>& points, double cellSize)
+    : points_(points), cell_(cellSize > 0.0 ? cellSize : 1.0) {
+  cells_.reserve(points.size());
+  for (int i = 0; i < static_cast<int>(points.size()); ++i) {
+    cells_[cellKey(points[static_cast<std::size_t>(i)])].push_back(i);
+  }
+}
+
+std::int64_t GridIndex::cellKey(geom::Vec2 p) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_));
+  return packCell(cx, cy);
+}
+
+std::vector<int> GridIndex::queryRadius(geom::Vec2 center, double radius) const {
+  std::vector<int> out;
+  const double r2 = radius * radius;
+  const auto cx = static_cast<std::int64_t>(std::floor(center.x / cell_));
+  const auto cy = static_cast<std::int64_t>(std::floor(center.y / cell_));
+  const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
+  for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+    for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+      const auto it = cells_.find(packCell(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (int i : it->second) {
+        if (geom::dist2(points_[static_cast<std::size_t>(i)], center) <= r2) {
+          out.push_back(i);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> GridIndex::neighborsOf(int i, double radius) const {
+  auto out = queryRadius(points_[static_cast<std::size_t>(i)], radius);
+  std::erase(out, i);
+  return out;
+}
+
+}  // namespace hybrid::spatial

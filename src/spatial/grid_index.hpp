@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace hybrid::spatial {
+
+/// Uniform hash grid over the plane for fixed-radius neighbor queries.
+/// With cell size equal to the query radius, a radius query inspects at
+/// most 9 cells, giving expected O(1 + output) time for bounded densities.
+class GridIndex {
+ public:
+  GridIndex(const std::vector<geom::Vec2>& points, double cellSize);
+
+  /// Indices of all points within `radius` of `center` (inclusive).
+  std::vector<int> queryRadius(geom::Vec2 center, double radius) const;
+
+  /// Indices of all points p with dist(points[i], p) <= radius, i excluded.
+  std::vector<int> neighborsOf(int i, double radius) const;
+
+  double cellSize() const { return cell_; }
+
+ private:
+  std::int64_t cellKey(geom::Vec2 p) const;
+
+  const std::vector<geom::Vec2>& points_;
+  double cell_;
+  std::unordered_map<std::int64_t, std::vector<int>> cells_;
+};
+
+}  // namespace hybrid::spatial

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace hybrid::util {
+
+/// Number of worker threads to use: `requested` if positive, otherwise the
+/// hardware concurrency (at least 1).
+inline unsigned resolveThreads(int requested) {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs fn(begin, end, chunkIndex) over contiguous chunks of [0, n) on
+/// `threads` workers. Chunking is deterministic: merging per-chunk results
+/// in chunk order reproduces the sequential order, so parallel builds stay
+/// bit-identical to serial ones.
+inline void parallelChunks(std::size_t n, unsigned threads,
+                           const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
+  threads = std::max(1u, std::min<unsigned>(threads, n == 0 ? 1 : static_cast<unsigned>(n)));
+  if (threads == 1 || n < 256) {
+    fn(0, n, 0);
+    return;
+  }
+  const std::size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = std::min(n, static_cast<std::size_t>(t) * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end, t] { fn(begin, end, t); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace hybrid::util

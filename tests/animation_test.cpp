@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/animation.hpp"
+
+namespace hybrid::io {
+namespace {
+
+TEST(Animation, WritesSelfContainedHtml) {
+  AnimationExporter anim(10.0, 10.0);
+  for (int f = 0; f < 3; ++f) {
+    AnimationExporter::Frame frame;
+    frame.nodes = {{1.0 + f, 1.0}, {2.0, 2.0 + f}};
+    frame.holes.push_back(geom::Polygon({{4, 4}, {6, 4}, {5, 6}}));
+    frame.route = {{1.0, 1.0}, {2.0, 2.0}};
+    frame.caption = "step " + std::to_string(f);
+    anim.addFrame(std::move(frame));
+  }
+  EXPECT_EQ(anim.numFrames(), 3u);
+
+  const std::string path = ::testing::TempDir() + "anim_test.html";
+  ASSERT_TRUE(anim.save(path, "unit test"));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("<canvas"), std::string::npos);
+  EXPECT_NE(doc.find("const frames="), std::string::npos);
+  EXPECT_NE(doc.find("step 2"), std::string::npos);
+  // Three frame objects in the data array.
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = doc.find("\"caption\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Animation, EmptyAnimationStillValid) {
+  AnimationExporter anim(5.0, 5.0);
+  const std::string path = ::testing::TempDir() + "anim_empty.html";
+  EXPECT_TRUE(anim.save(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hybrid::io

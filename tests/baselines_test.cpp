@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/hybrid_network.hpp"
+#include "routing/baselines.hpp"
+#include "routing/server_oracle.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid::routing {
+namespace {
+
+int nearestNode(const graph::GeometricGraph& g, geom::Vec2 p) {
+  int best = 0;
+  double bestD = 1e18;
+  for (int v = 0; v < static_cast<int>(g.numNodes()); ++v) {
+    const double d = geom::dist2(g.position(v), p);
+    if (d < bestD) {
+      bestD = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+TEST(Baselines, GreedyIsOptimalishWithoutHoles) {
+  const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(400, 201));
+  core::HybridNetwork net(sc.points);
+  GreedyRouter greedy(net.ldel());
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  int delivered = 0;
+  for (int it = 0; it < 80; ++it) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    const auto r = greedy.route(s, t);
+    if (!r.delivered) continue;
+    ++delivered;
+    EXPECT_LT(net.stretch(r, s, t), 2.0);
+  }
+  EXPECT_GE(delivered, 76);  // dense hole-free deployments rarely trap greedy
+}
+
+TEST(Baselines, GreedyStuckNodeIsALocalMinimum) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 18.0;
+  p.seed = 202;
+  p.obstacles.push_back(scenario::rectangleObstacle({6, 7}, {12, 11}));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  GreedyRouter greedy(net.ldel());
+  const int s = nearestNode(net.ldel(), {3.0, 9.0});
+  const int t = nearestNode(net.ldel(), {15.0, 9.0});
+  const auto r = greedy.route(s, t);
+  ASSERT_FALSE(r.delivered);
+  // The node where greedy stopped has no neighbor closer to t.
+  const auto stuck = r.path.back();
+  const double d = geom::dist(net.ldel().position(stuck), net.ldel().position(t));
+  for (graph::NodeId nb : net.ldel().neighbors(stuck)) {
+    EXPECT_GE(geom::dist(net.ldel().position(nb), net.ldel().position(t)), d);
+  }
+}
+
+TEST(Baselines, CompassDetectsItsOwnLoops) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 18.0;
+  p.seed = 203;
+  p.obstacles.push_back(scenario::uShapeObstacle({9, 9}, 7.0, 6.0, 1.4));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  CompassRouter compass(net.ldel());
+  std::mt19937 rng(2);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  for (int it = 0; it < 60; ++it) {
+    const auto r = compass.route(pick(rng), pick(rng));
+    // Never runs away: bounded hops whether delivered or looped.
+    EXPECT_LT(r.path.size(), 4 * net.ldel().numNodes() + 17);
+  }
+}
+
+TEST(Baselines, ServerOracleIsExactlyOptimal) {
+  const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(300, 204));
+  core::HybridNetwork net(sc.points);
+  ServerOracleRouter server(net.udg());
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  for (int it = 0; it < 40; ++it) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    const auto r = server.route(s, t);
+    ASSERT_TRUE(r.delivered);
+    EXPECT_NEAR(net.stretch(r, s, t), 1.0, 1e-9);
+  }
+  EXPECT_EQ(server.uploadMessagesPerEpoch(), static_cast<long>(net.udg().numNodes()));
+  EXPECT_EQ(server.queryMessages(), 2);
+}
+
+TEST(Baselines, FaceGreedyBeatsGreedyOnDelivery) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 20.0;
+  p.seed = 205;
+  p.obstacles.push_back(scenario::regularPolygonObstacle({10, 10}, 3.2, 5));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  GreedyRouter greedy(net.ldel());
+  FaceGreedyRouter face(net.ldel(), net.subdivision(), net.holes());
+  std::mt19937 rng(4);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  int greedyOk = 0;
+  int faceOk = 0;
+  const int pairs = 100;
+  for (int it = 0; it < pairs; ++it) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    greedyOk += greedy.route(s, t).delivered ? 1 : 0;
+    faceOk += face.route(s, t).delivered ? 1 : 0;
+  }
+  EXPECT_EQ(faceOk, pairs);
+  EXPECT_LT(greedyOk, pairs);
+}
+
+}  // namespace
+}  // namespace hybrid::routing

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "delaunay/ldel.hpp"
+#include "delaunay/triangulation.hpp"
+#include "delaunay/udg.hpp"
+#include "geom/polygon.hpp"
+#include "geom/predicates.hpp"
+#include "graph/shortest_path.hpp"
+#include "spatial/grid_index.hpp"
+#include "scenario/generator.hpp"
+
+namespace hybrid::delaunay {
+namespace {
+
+std::vector<geom::Vec2> randomPoints(std::size_t n, unsigned seed, double extent = 50.0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(0.0, extent);
+  std::set<std::pair<double, double>> seen;
+  std::vector<geom::Vec2> pts;
+  while (pts.size() < n) {
+    const geom::Vec2 p{d(rng), d(rng)};
+    if (seen.insert({p.x, p.y}).second) pts.push_back(p);
+  }
+  return pts;
+}
+
+TEST(GridIndex, MatchesBruteForce) {
+  const auto pts = randomPoints(400, 3, 20.0);
+  const spatial::GridIndex grid(pts, 1.0);
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<double> d(0.0, 20.0);
+  for (int it = 0; it < 50; ++it) {
+    const geom::Vec2 q{d(rng), d(rng)};
+    const double r = 0.3 + 2.2 * (it % 5) / 4.0;
+    auto got = grid.queryRadius(q, r);
+    std::sort(got.begin(), got.end());
+    std::vector<int> expect;
+    for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+      if (geom::dist(pts[static_cast<std::size_t>(i)], q) <= r) expect.push_back(i);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(Delaunay, TinyInputs) {
+  EXPECT_TRUE(DelaunayTriangulation({}).triangles().empty());
+  EXPECT_TRUE(DelaunayTriangulation({{0, 0}}).triangles().empty());
+  EXPECT_TRUE(DelaunayTriangulation({{0, 0}, {1, 1}}).triangles().empty());
+  const DelaunayTriangulation tri({{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(tri.triangles().size(), 1u);
+  EXPECT_EQ(tri.edges().size(), 3u);
+}
+
+TEST(Delaunay, SquareHasTwoTriangles) {
+  const DelaunayTriangulation dt({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(dt.triangles().size(), 2u);
+  EXPECT_EQ(dt.edges().size(), 5u);
+}
+
+class DelaunayFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelaunayFuzz, EmptyCircumcircleProperty) {
+  const auto pts = randomPoints(120, static_cast<unsigned>(GetParam()) * 31 + 5);
+  const DelaunayTriangulation dt(pts);
+  // Euler-ish sanity: a triangulation of n points has <= 2n-5 triangles.
+  EXPECT_LE(dt.triangles().size(), 2 * pts.size());
+  EXPECT_GE(dt.triangles().size(), pts.size() / 2);
+
+  for (const auto& t : dt.triangles()) {
+    const geom::Vec2 a = pts[static_cast<std::size_t>(t.v[0])];
+    const geom::Vec2 b = pts[static_cast<std::size_t>(t.v[1])];
+    const geom::Vec2 c = pts[static_cast<std::size_t>(t.v[2])];
+    const int o = geom::orient(a, b, c);
+    ASSERT_NE(o, 0);
+    for (int p = 0; p < static_cast<int>(pts.size()); ++p) {
+      if (p == t.v[0] || p == t.v[1] || p == t.v[2]) continue;
+      const int ic = geom::inCircle(a, b, c, pts[static_cast<std::size_t>(p)]);
+      EXPECT_NE(o > 0 ? ic : -ic, 1)
+          << "point " << p << " inside circumcircle of triangle " << t.v[0] << ","
+          << t.v[1] << "," << t.v[2];
+    }
+  }
+}
+
+TEST_P(DelaunayFuzz, ContainsConvexHullEdges) {
+  const auto pts = randomPoints(80, static_cast<unsigned>(GetParam()) * 13 + 2);
+  const DelaunayTriangulation dt(pts);
+  const auto hull = geom::convexHullIndices(pts);
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    EXPECT_TRUE(dt.hasEdge(hull[i], hull[(i + 1) % hull.size()]));
+  }
+}
+
+TEST_P(DelaunayFuzz, GraphIsPlanarAndConnected) {
+  const auto pts = randomPoints(100, static_cast<unsigned>(GetParam()) * 7 + 3);
+  const auto g = DelaunayTriangulation(pts).toGraph();
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_TRUE(g.isPlanarEmbedding());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayFuzz, ::testing::Range(0, 6));
+
+TEST(Udg, EdgesAreExactlyThePairsWithinRadius) {
+  const auto pts = randomPoints(200, 8, 15.0);
+  const auto g = buildUnitDiskGraph(pts, 1.0);
+  for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+    for (int j = i + 1; j < static_cast<int>(pts.size()); ++j) {
+      const bool inRange = geom::dist(pts[static_cast<std::size_t>(i)],
+                                      pts[static_cast<std::size_t>(j)]) <= 1.0;
+      EXPECT_EQ(g.hasEdge(i, j), inRange) << i << " " << j;
+    }
+  }
+}
+
+TEST(Ldel, GabrielEdgesHaveEmptyDiametralCircles) {
+  auto sc = scenario::makeScenario(scenario::paramsForNodeCount(500, 13));
+  const auto ldel = buildLocalizedDelaunay(sc.points);
+  for (const auto& [u, v] : ldel.gabrielEdges) {
+    const geom::Vec2 pu = sc.points[static_cast<std::size_t>(u)];
+    const geom::Vec2 pv = sc.points[static_cast<std::size_t>(v)];
+    for (int w = 0; w < static_cast<int>(sc.points.size()); ++w) {
+      if (w == u || w == v) continue;
+      EXPECT_FALSE(geom::inDiametralCircle(pu, pv, sc.points[static_cast<std::size_t>(w)]))
+          << "Gabriel edge " << u << "-" << v << " violated by " << w;
+    }
+  }
+}
+
+TEST(Ldel, SubgraphOfUdgAndSuperGraphOfGabriel) {
+  auto sc = scenario::makeScenario(scenario::paramsForNodeCount(600, 14));
+  const auto ldel = buildLocalizedDelaunay(sc.points);
+  for (const auto& [u, v] : ldel.graph.edges()) {
+    EXPECT_TRUE(ldel.udg.hasEdge(u, v));
+    EXPECT_LE(ldel.graph.edgeLength(u, v), 1.0 + 1e-12);
+  }
+  for (const auto& [u, v] : ldel.gabrielEdges) {
+    EXPECT_TRUE(ldel.graph.hasEdge(u, v));
+  }
+}
+
+TEST(Ldel, TrianglesSatisfyLocalEmptiness) {
+  auto sc = scenario::makeScenario(scenario::paramsForNodeCount(400, 15));
+  const auto ldel = buildLocalizedDelaunay(sc.points);
+  ASSERT_FALSE(ldel.triangles.empty());
+  // Spot check a sample of triangles against the k-hop emptiness rule.
+  std::mt19937 rng(2);
+  std::uniform_int_distribution<std::size_t> pick(0, ldel.triangles.size() - 1);
+  for (int it = 0; it < 40; ++it) {
+    const auto& t = ldel.triangles[pick(rng)];
+    const geom::Vec2 a = sc.points[static_cast<std::size_t>(t[0])];
+    const geom::Vec2 b = sc.points[static_cast<std::size_t>(t[1])];
+    const geom::Vec2 c = sc.points[static_cast<std::size_t>(t[2])];
+    const int o = geom::orient(a, b, c);
+    for (const int base : {t[0], t[1], t[2]}) {
+      for (int x : graph::kHopNeighborhood(ldel.udg, base, 2)) {
+        if (x == t[0] || x == t[1] || x == t[2]) continue;
+        const int ic = geom::inCircle(a, b, c, sc.points[static_cast<std::size_t>(x)]);
+        EXPECT_NE(o > 0 ? ic : -ic, 1);
+      }
+    }
+  }
+}
+
+TEST(Ldel, PlanarConnectedSpanner) {
+  auto sc = scenario::makeScenario(scenario::paramsForNodeCount(800, 16));
+  const auto ldel = buildLocalizedDelaunay(sc.points);
+  EXPECT_EQ(ldel.removedCrossings, 0);
+  EXPECT_TRUE(ldel.graph.isPlanarEmbedding());
+  EXPECT_TRUE(ldel.graph.isConnected());
+
+  // Empirical spanner check vs the UDG (Thm 2.9 bound is 1.998).
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  for (int it = 0; it < 40; ++it) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    if (s == t) continue;
+    const double du = graph::shortestPathLength(ldel.udg, s, t);
+    const double dl = graph::shortestPathLength(ldel.graph, s, t);
+    EXPECT_LE(dl, 1.998 * du + 1e-9);
+  }
+}
+
+TEST(Ldel, HigherKRemovesMoreTriangles) {
+  auto sc = scenario::makeScenario(scenario::paramsForNodeCount(300, 17));
+  LDelOptions k1;
+  k1.k = 1;
+  LDelOptions k2;
+  k2.k = 2;
+  LDelOptions k3;
+  k3.k = 3;
+  const auto l1 = buildLocalizedDelaunay(sc.points, k1);
+  const auto l2 = buildLocalizedDelaunay(sc.points, k2);
+  const auto l3 = buildLocalizedDelaunay(sc.points, k3);
+  EXPECT_GE(l1.triangles.size(), l2.triangles.size());
+  EXPECT_GE(l2.triangles.size(), l3.triangles.size());
+  // LDel^2 edges are a superset of LDel^3 edges.
+  for (const auto& [u, v] : l3.graph.edges()) {
+    EXPECT_TRUE(l2.graph.hasEdge(u, v) || l2.removedCrossings > 0);
+  }
+}
+
+}  // namespace
+}  // namespace hybrid::delaunay

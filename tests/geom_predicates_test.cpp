@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/expansion.hpp"
+#include "geom/predicates.hpp"
+
+namespace hybrid::geom {
+namespace {
+
+TEST(Expansion, TwoSumIsExact) {
+  const Expansion e = Expansion::twoSum(1.0, 1e-30);
+  EXPECT_EQ(e.sign(), 1);
+  EXPECT_DOUBLE_EQ(e.estimate(), 1.0);
+  // The low component carries what the double sum lost.
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.components()[0], 1e-30);
+}
+
+TEST(Expansion, TwoProductCapturesRoundoff) {
+  const double a = 1.0 + 1e-8;
+  const Expansion e = Expansion::twoProduct(a, a);
+  // a*a is not representable; the expansion must carry a correction term.
+  EXPECT_EQ(e.sign(), 1);
+  const Expansion diff = e - Expansion::twoProduct(a, a);
+  EXPECT_EQ(diff.sign(), 0);
+}
+
+TEST(Expansion, SignOfTinyDifference) {
+  // x*y - y*x == 0 exactly.
+  const Expansion zero = exactDet2(3.1415, 2.7182, 3.1415, 2.7182);
+  EXPECT_EQ(zero.sign(), 0);
+
+  const Expansion pos = exactDet2(1.0 + 1e-15, 1.0, 1.0, 1.0);
+  EXPECT_EQ(pos.sign(), 1);
+}
+
+TEST(Expansion, ScaleAndMultiply) {
+  const Expansion a = Expansion::twoSum(1e20, 1.0);
+  const Expansion b = a.scale(3.0);
+  const Expansion c = a + a + a;
+  EXPECT_EQ((b - c).sign(), 0);
+
+  const Expansion sq = a * a;
+  // (1e20+1)^2 - (1e20+1)*1e20 = 1e20 + 1 = a, all exactly representable.
+  const Expansion tail = sq - a.scale(1e20);
+  EXPECT_EQ(tail.sign(), 1);
+  EXPECT_EQ((tail - a).sign(), 0);
+}
+
+TEST(Orient, BasicOrientations) {
+  const Vec2 a{0, 0}, b{1, 0};
+  EXPECT_EQ(orient(a, b, {0.5, 1.0}), 1);
+  EXPECT_EQ(orient(a, b, {0.5, -1.0}), -1);
+  EXPECT_EQ(orient(a, b, {2.0, 0.0}), 0);
+}
+
+TEST(Orient, NearlyCollinearIsExact) {
+  // Classic robustness test: points on a line with tiny perturbations in
+  // the last ulp must be classified consistently.
+  const Vec2 a{0.5, 0.5};
+  const Vec2 b{12.0, 12.0};
+  for (int i = -2; i <= 2; ++i) {
+    double cy = 24.0;
+    for (int s = 0; s < std::abs(i); ++s) {
+      cy = std::nextafter(cy, i > 0 ? 1e30 : -1e30);
+    }
+    const Vec2 c{24.0, cy};
+    const int o = orient(a, b, c);
+    EXPECT_EQ(o, i == 0 ? 0 : (i > 0 ? 1 : -1)) << "i=" << i;
+  }
+}
+
+TEST(Orient, AntisymmetryFuzz) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> d(-100.0, 100.0);
+  for (int it = 0; it < 2000; ++it) {
+    const Vec2 a{d(rng), d(rng)}, b{d(rng), d(rng)}, c{d(rng), d(rng)};
+    EXPECT_EQ(orient(a, b, c), -orient(b, a, c));
+    EXPECT_EQ(orient(a, b, c), orient(b, c, a));
+  }
+}
+
+TEST(InCircle, UnitCircleBasics) {
+  const Vec2 a{1, 0}, b{0, 1}, c{-1, 0};  // ccw on the unit circle
+  EXPECT_EQ(inCircle(a, b, c, {0.0, 0.0}), 1);
+  EXPECT_EQ(inCircle(a, b, c, {2.0, 0.0}), -1);
+  EXPECT_EQ(inCircle(a, b, c, {0.0, -1.0}), 0);  // cocircular
+}
+
+TEST(InCircle, OrientationFlipsSign) {
+  const Vec2 a{1, 0}, b{0, 1}, c{-1, 0};
+  const Vec2 inside{0.1, 0.2};
+  EXPECT_EQ(inCircle(a, b, c, inside), 1);
+  EXPECT_EQ(inCircle(c, b, a, inside), -1);
+}
+
+TEST(InCircle, NearCocircularIsExact) {
+  // Perturb the query point by one ulp off the circle.
+  const Vec2 a{1, 0}, b{0, 1}, c{-1, 0};
+  const double ulp = std::nextafter(1.0, 2.0) - 1.0;
+  EXPECT_EQ(inCircle(a, b, c, {0.0, -(1.0 - ulp)}), 1);
+  EXPECT_EQ(inCircle(a, b, c, {0.0, -(1.0 + ulp)}), -1);
+}
+
+TEST(DiametralCircle, GabrielPredicate) {
+  const Vec2 a{0, 0}, b{2, 0};
+  EXPECT_TRUE(inDiametralCircle(a, b, {1.0, 0.5}));
+  EXPECT_FALSE(inDiametralCircle(a, b, {1.0, 1.0}));   // on the circle
+  EXPECT_FALSE(inDiametralCircle(a, b, {1.0, 1.01}));  // outside
+  EXPECT_FALSE(inDiametralCircle(a, b, a));            // endpoint: on circle
+}
+
+TEST(OnSegment, EndpointsAndInterior) {
+  const Vec2 a{0, 0}, b{4, 2};
+  EXPECT_TRUE(onSegment(a, b, a));
+  EXPECT_TRUE(onSegment(a, b, b));
+  EXPECT_TRUE(onSegment(a, b, {2, 1}));
+  EXPECT_FALSE(onSegment(a, b, {6, 3}));   // collinear but beyond
+  EXPECT_FALSE(onSegment(a, b, {2, 1.1}));  // off the line
+}
+
+// Property sweep: the filtered predicate must agree with a high-precision
+// long-double evaluation whenever the latter is decisively nonzero.
+class OrientFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrientFuzz, MatchesLongDoubleWhenDecisive) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> d(-1000.0, 1000.0);
+  for (int it = 0; it < 500; ++it) {
+    const Vec2 a{d(rng), d(rng)}, b{d(rng), d(rng)}, c{d(rng), d(rng)};
+    const long double det = (static_cast<long double>(a.x) - c.x) *
+                                (static_cast<long double>(b.y) - c.y) -
+                            (static_cast<long double>(a.y) - c.y) *
+                                (static_cast<long double>(b.x) - c.x);
+    if (std::abs(static_cast<double>(det)) > 1e-6) {
+      EXPECT_EQ(orient(a, b, c), det > 0 ? 1 : -1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrientFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hybrid::geom

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/segment.hpp"
+
+namespace hybrid::geom {
+namespace {
+
+TEST(Segment, ProperCrossing) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  EXPECT_TRUE(segmentsIntersect(a, b));
+  EXPECT_TRUE(segmentsCrossProperly(a, b));
+  EXPECT_TRUE(segmentsInteriorsIntersect(a, b));
+  const auto ip = segmentIntersectionPoint(a, b);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_NEAR(ip->x, 1.0, 1e-12);
+  EXPECT_NEAR(ip->y, 1.0, 1e-12);
+}
+
+TEST(Segment, TouchingAtEndpointIsNotProper) {
+  const Segment a{{0, 0}, {1, 1}};
+  const Segment b{{1, 1}, {2, 0}};
+  EXPECT_TRUE(segmentsIntersect(a, b));
+  EXPECT_FALSE(segmentsCrossProperly(a, b));
+  EXPECT_FALSE(segmentsInteriorsIntersect(a, b));
+}
+
+TEST(Segment, EndpointInInteriorCounts) {
+  const Segment a{{0, 0}, {2, 0}};
+  const Segment b{{1, 0}, {1, 5}};  // b starts in a's interior
+  EXPECT_TRUE(segmentsIntersect(a, b));
+  EXPECT_FALSE(segmentsCrossProperly(a, b));
+  EXPECT_TRUE(segmentsInteriorsIntersect(a, b));
+}
+
+TEST(Segment, CollinearOverlap) {
+  const Segment a{{0, 0}, {3, 0}};
+  const Segment b{{1, 0}, {5, 0}};
+  EXPECT_TRUE(segmentsIntersect(a, b));
+  EXPECT_FALSE(segmentsCrossProperly(a, b));
+  EXPECT_TRUE(segmentsInteriorsIntersect(a, b));
+  // Parallel: no unique intersection point.
+  EXPECT_FALSE(segmentIntersectionPoint(a, b).has_value());
+}
+
+TEST(Segment, CollinearDisjoint) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{2, 0}, {3, 0}};
+  EXPECT_FALSE(segmentsIntersect(a, b));
+  EXPECT_FALSE(segmentsInteriorsIntersect(a, b));
+}
+
+TEST(Segment, IdenticalSegmentsOverlap) {
+  const Segment a{{0, 1}, {2, 3}};
+  EXPECT_TRUE(segmentsInteriorsIntersect(a, a));
+}
+
+TEST(Segment, FarApart) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{0, 5}, {1, 5}};
+  EXPECT_FALSE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, PointDistance) {
+  const Segment s{{0, 0}, {4, 0}};
+  EXPECT_DOUBLE_EQ(pointSegmentDistance({2, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(pointSegmentDistance({-3, 4}, s), 5.0);  // clamps to endpoint
+  EXPECT_DOUBLE_EQ(pointSegmentDistance({2, 0}, s), 0.0);
+  EXPECT_EQ(closestPointOnSegment({2, 3}, s), (Vec2{2, 0}));
+  EXPECT_EQ(closestPointOnSegment({9, 9}, s), (Vec2{4, 0}));
+}
+
+TEST(Segment, DegenerateSegmentIsAPoint) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(pointSegmentDistance({4, 5}, s), 5.0);
+  EXPECT_EQ(closestPointOnSegment({0, 0}, s), (Vec2{1, 1}));
+}
+
+// Property: segmentsIntersect is symmetric, and a proper crossing implies
+// the intersection point lies on both segments.
+class SegmentFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentFuzz, SymmetryAndWitness) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> d(-10.0, 10.0);
+  for (int it = 0; it < 400; ++it) {
+    const Segment a{{d(rng), d(rng)}, {d(rng), d(rng)}};
+    const Segment b{{d(rng), d(rng)}, {d(rng), d(rng)}};
+    EXPECT_EQ(segmentsIntersect(a, b), segmentsIntersect(b, a));
+    EXPECT_EQ(segmentsCrossProperly(a, b), segmentsCrossProperly(b, a));
+    if (segmentsCrossProperly(a, b)) {
+      const auto ip = segmentIntersectionPoint(a, b);
+      ASSERT_TRUE(ip.has_value());
+      EXPECT_LT(pointSegmentDistance(*ip, a), 1e-6);
+      EXPECT_LT(pointSegmentDistance(*ip, b), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace hybrid::geom

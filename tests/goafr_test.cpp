@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/hybrid_network.hpp"
+#include "graph/rotation.hpp"
+#include "routing/goafr.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+TEST(RotationSystem, CcwOrderAndSuccessors) {
+  graph::GeometricGraph g({{0, 0}, {1, 0}, {0, 1}, {-1, 0}, {0, -1}});
+  for (int i = 1; i <= 4; ++i) g.addEdge(0, i);
+  const graph::RotationSystem rot(g);
+  EXPECT_EQ(rot.neighborsCcw(0), (std::vector<graph::NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(rot.nextCcw(0, 1), 2);
+  EXPECT_EQ(rot.nextCcw(0, 4), 1);
+  EXPECT_EQ(rot.nextCw(0, 1), 4);
+  // Sweeping from direction (1, 0.1): first cw neighbor is node 1 (east),
+  // first ccw is node 2 (north).
+  EXPECT_EQ(rot.firstCw(0, {1.0, 0.1}), 1);
+  EXPECT_EQ(rot.firstCcw(0, {1.0, 0.1}), 2);
+}
+
+TEST(Goafr, DeliversOnScenariosWithHoles) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 20.0;
+  p.seed = 45;
+  p.obstacles.push_back(scenario::regularPolygonObstacle({10.0, 10.0}, 3.0, 6));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  routing::GoafrRouter goafr(net.ldel());
+
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  int delivered = 0;
+  const int pairs = 120;
+  for (int it = 0; it < pairs; ++it) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    const auto r = goafr.route(s, t);
+    if (r.delivered) ++delivered;
+    // Every hop is a real edge.
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      ASSERT_TRUE(net.ldel().hasEdge(r.path[i], r.path[i + 1]));
+    }
+  }
+  // A worst-case-optimal local strategy must deliver (allow a tiny slack
+  // for boundary-face corner cases of our implementation).
+  EXPECT_GE(delivered, pairs * 95 / 100);
+}
+
+TEST(Goafr, PaysForItsExplorationAroundDeepHoles) {
+  // U-shaped hole with target behind it: GOAFR's bounded face exploration
+  // must walk in and back out, so its path is longer than the hybrid's.
+  scenario::ScenarioParams p;
+  p.width = p.height = 24.0;
+  p.seed = 47;
+  p.obstacles.push_back(scenario::uShapeObstacle({12.0, 12.0}, 10.0, 9.0, 1.5));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  routing::GoafrRouter goafr(net.ldel());
+
+  auto nearest = [&](geom::Vec2 q) {
+    int best = 0;
+    double bd = 1e18;
+    for (int v = 0; v < static_cast<int>(sc.points.size()); ++v) {
+      const double d = geom::dist2(net.ldel().position(v), q);
+      if (d < bd) {
+        bd = d;
+        best = v;
+      }
+    }
+    return best;
+  };
+  const int s = nearest({12.0, 12.5});  // inside the bay
+  const int t = nearest({12.0, 2.0});   // below the U
+  const auto rg = goafr.route(s, t);
+  const auto rh = net.route(s, t);
+  ASSERT_TRUE(rg.delivered);
+  ASSERT_TRUE(rh.delivered);
+  EXPECT_GT(net.stretch(rg, s, t), net.stretch(rh, s, t));
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "delaunay/udg.hpp"
+#include "graph/dsu.hpp"
+#include "graph/graph.hpp"
+#include "graph/planar_faces.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace hybrid::graph {
+namespace {
+
+GeometricGraph pathGraph(int n) {
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < n; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  GeometricGraph g(pts);
+  for (int i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  return g;
+}
+
+TEST(GeometricGraph, EdgeBookkeeping) {
+  GeometricGraph g({{0, 0}, {1, 0}, {0, 1}});
+  g.addEdge(0, 1);
+  g.addEdge(0, 1);  // duplicate ignored
+  g.addEdge(1, 0);  // reversed duplicate ignored
+  g.addEdge(0, 0);  // self loop ignored
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  g.addEdge(1, 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.maxDegree(), 2);
+  g.removeEdge(0, 1);
+  EXPECT_FALSE(g.hasEdge(0, 1));
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GeometricGraph, ComponentsAndConnectivity) {
+  GeometricGraph g({{0, 0}, {1, 0}, {5, 5}, {6, 5}});
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  int k = 0;
+  const auto labels = g.componentLabels(&k);
+  EXPECT_EQ(k, 2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_FALSE(g.isConnected());
+  g.addEdge(1, 2);
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GeometricGraph, PathLength) {
+  const auto g = pathGraph(4);
+  const std::vector<NodeId> p{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(g.pathLength(p), 3.0);
+  EXPECT_TRUE(std::isinf(g.pathLength(std::vector<NodeId>{})));
+}
+
+TEST(GeometricGraph, PlanarityCheck) {
+  GeometricGraph g({{0, 0}, {2, 2}, {0, 2}, {2, 0}});
+  g.addEdge(0, 1);
+  EXPECT_TRUE(g.isPlanarEmbedding());
+  g.addEdge(2, 3);  // crosses 0-1
+  EXPECT_FALSE(g.isPlanarEmbedding());
+}
+
+TEST(ShortestPath, DijkstraOnPath) {
+  const auto g = pathGraph(6);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.dist[5], 5.0);
+  EXPECT_EQ(tree.pathTo(5).size(), 6u);
+  EXPECT_EQ(tree.pathTo(5).front(), 0);
+  EXPECT_EQ(tree.pathTo(5).back(), 5);
+}
+
+TEST(ShortestPath, UnreachableTarget) {
+  GeometricGraph g({{0, 0}, {1, 0}, {9, 9}});
+  g.addEdge(0, 1);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_TRUE(std::isinf(tree.dist[2]));
+  EXPECT_TRUE(tree.pathTo(2).empty());
+  EXPECT_TRUE(astarPath(g, 0, 2).empty());
+}
+
+TEST(ShortestPath, AStarAgreesWithDijkstra) {
+  std::mt19937 rng(21);
+  std::uniform_real_distribution<double> d(0.0, 12.0);
+  std::vector<geom::Vec2> pts(300);
+  for (auto& p : pts) p = {d(rng), d(rng)};
+  const auto g = delaunay::buildUnitDiskGraph(pts, 1.3);
+  std::uniform_int_distribution<int> pick(0, 299);
+  for (int it = 0; it < 60; ++it) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    const double dd = dijkstra(g, s, t).dist[static_cast<std::size_t>(t)];
+    const auto ap = astarPath(g, s, t);
+    if (std::isinf(dd)) {
+      EXPECT_TRUE(ap.empty());
+    } else {
+      EXPECT_NEAR(g.pathLength(ap), dd, 1e-9);
+    }
+  }
+}
+
+TEST(ShortestPath, BfsHopsAndKHop) {
+  const auto g = pathGraph(7);
+  const auto hops = bfsHops(g, 3);
+  EXPECT_EQ(hops[0], 3);
+  EXPECT_EQ(hops[6], 3);
+  const auto bounded = bfsHops(g, 3, 2);
+  EXPECT_EQ(bounded[0], -1);
+  EXPECT_EQ(bounded[1], 2);
+  const auto nbh = kHopNeighborhood(g, 3, 2);
+  EXPECT_EQ(nbh.size(), 5u);  // 1,2,3,4,5
+}
+
+TEST(Dsu, UnionFind) {
+  DisjointSetUnion dsu(6);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_FALSE(dsu.unite(0, 2));
+  EXPECT_TRUE(dsu.same(0, 2));
+  EXPECT_FALSE(dsu.same(0, 3));
+  EXPECT_EQ(dsu.setSize(2), 3);
+  EXPECT_EQ(dsu.setSize(5), 1);
+}
+
+TEST(PlanarFaces, TriangleHasTwoFaces) {
+  GeometricGraph g({{0, 0}, {1, 0}, {0, 1}});
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 0);
+  const auto faces = enumerateFaces(g);
+  ASSERT_EQ(faces.size(), 2u);
+  int outer = 0;
+  for (const auto& f : faces) {
+    EXPECT_EQ(f.cycle.size(), 3u);
+    if (f.outer) ++outer;
+  }
+  EXPECT_EQ(outer, 1);
+}
+
+TEST(PlanarFaces, EulerFormulaOnRandomPlanarGraph) {
+  // UDG of a jittered grid is planar? Not necessarily; use a Delaunay-free
+  // construction: a grid graph (axis-aligned edges only) is planar.
+  const int side = 8;
+  std::vector<geom::Vec2> pts;
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) pts.push_back({static_cast<double>(x), static_cast<double>(y)});
+  }
+  GeometricGraph g(pts);
+  auto id = [side](int x, int y) { return y * side + x; };
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      if (x + 1 < side) g.addEdge(id(x, y), id(x + 1, y));
+      if (y + 1 < side) g.addEdge(id(x, y), id(x, y + 1));
+    }
+  }
+  const auto faces = enumerateFaces(g);
+  // Euler: V - E + F = 2 for connected planar graphs.
+  EXPECT_EQ(static_cast<long>(g.numNodes()) - static_cast<long>(g.numEdges()) +
+                static_cast<long>(faces.size()),
+            2);
+  // Exactly one outer face, and every inner face is a unit square.
+  int outer = 0;
+  for (const auto& f : faces) {
+    if (f.outer) {
+      ++outer;
+    } else {
+      EXPECT_EQ(f.cycle.size(), 4u);
+      EXPECT_NEAR(f.signedArea2, 2.0, 1e-12);  // area 1, ccw
+    }
+  }
+  EXPECT_EQ(outer, 1);
+}
+
+TEST(PlanarFaces, FaceWalksCoverEveryDirectedEdgeOnce) {
+  GeometricGraph g({{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}});
+  for (int i = 0; i < 4; ++i) g.addEdge(i, (i + 1) % 4);
+  for (int i = 0; i < 4; ++i) g.addEdge(i, 4);
+  const auto faces = enumerateFaces(g);
+  std::size_t totalDirected = 0;
+  for (const auto& f : faces) totalDirected += f.cycle.size();
+  EXPECT_EQ(totalDirected, 2 * g.numEdges());
+  EXPECT_EQ(faces.size(), 5u);  // 4 triangles + outer
+}
+
+}  // namespace
+}  // namespace hybrid::graph

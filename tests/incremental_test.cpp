@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "protocols/incremental.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+core::HybridNetwork makeNet(unsigned seed) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 16.0;
+  p.seed = seed;
+  p.obstacles.push_back(scenario::regularPolygonObstacle({8.0, 8.0}, 2.5, 6));
+  return core::HybridNetwork(scenario::makeScenario(p).points);
+}
+
+TEST(Incremental, NoPreviousStateRecomputesEverything) {
+  auto net = makeNet(61);
+  sim::Simulator s(net.udg());
+  protocols::IncrementalReport rep;
+  const auto results = protocols::runIncrementalUpdate(net, s, {}, &rep);
+  EXPECT_EQ(rep.changedRings, rep.totalRings);
+  EXPECT_GT(rep.rounds, 0);
+  // Every ring got a result, and hulls match the oracle.
+  for (std::size_t hi = 0; hi < net.holes().holes.size(); ++hi) {
+    auto hull = results[hi].hull;
+    auto oracle = net.abstractions()[hi].hullNodes;
+    std::sort(hull.begin(), hull.end());
+    std::sort(oracle.begin(), oracle.end());
+    EXPECT_EQ(hull, oracle) << "hole " << hi;
+  }
+}
+
+TEST(Incremental, UnchangedNetworkCostsNothing) {
+  auto net = makeNet(62);
+  sim::Simulator s(net.udg());
+  const auto prev = protocols::boundaryRings(net);
+  protocols::IncrementalReport rep;
+  protocols::runIncrementalUpdate(net, s, prev, &rep);
+  EXPECT_EQ(rep.changedRings, 0);
+  EXPECT_EQ(rep.rounds, 0);
+  EXPECT_EQ(rep.messages, 0);
+  EXPECT_GT(rep.fullRounds, 0);
+}
+
+TEST(Incremental, ToleranceAbsorbsSmallMembershipChanges) {
+  auto net = makeNet(63);
+  // Perturb the previous state: drop one node from each remembered ring.
+  auto prev = protocols::boundaryRings(net);
+  for (auto& ring : prev) {
+    if (ring.size() > 8) ring.pop_back();
+  }
+  sim::Simulator strict(net.udg());
+  protocols::IncrementalReport strictRep;
+  protocols::runIncrementalUpdate(net, strict, prev, &strictRep, 1, 0.0);
+
+  sim::Simulator tolerant(net.udg());
+  protocols::IncrementalReport tolRep;
+  protocols::runIncrementalUpdate(net, tolerant, prev, &tolRep, 1, 0.2);
+
+  EXPECT_GT(strictRep.changedRings, tolRep.changedRings);
+  // Small rings (<= 8 nodes, unperturbed) are unchanged in both.
+  EXPECT_LE(tolRep.messages, strictRep.messages);
+}
+
+
+TEST(Incremental, FullToleranceNeverRecomputes) {
+  auto net = makeNet(64);
+  // Remembered rings are heavily perturbed, but tolerance 1.0 accepts any
+  // nonempty overlap with a previous ring.
+  auto prev = protocols::boundaryRings(net);
+  for (auto& ring : prev) {
+    while (ring.size() > 4) ring.pop_back();
+  }
+  sim::Simulator s(net.udg());
+  protocols::IncrementalReport rep;
+  protocols::runIncrementalUpdate(net, s, prev, &rep, 1, 1.0);
+  EXPECT_EQ(rep.changedRings, 0);
+  EXPECT_EQ(rep.messages, 0);
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/hybrid_network.hpp"
+#include "delaunay/udg.hpp"
+#include "protocols/ldel_protocol.hpp"
+#include "protocols/preprocessing.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+scenario::Scenario holeScenario(unsigned seed) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 16.0;
+  p.seed = seed;
+  p.obstacles.push_back(scenario::regularPolygonObstacle({8, 8}, 2.5, 6));
+  return scenario::makeScenario(p);
+}
+
+class LdelProtocolVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(LdelProtocolVsOracle, GraphMatchesCentralizedConstruction) {
+  const auto sc = holeScenario(300 + static_cast<unsigned>(GetParam()));
+  core::HybridNetwork net(sc.points);
+  ASSERT_EQ(net.ldelResult().removedCrossings, 0);
+
+  sim::Simulator s(net.udg());
+  const auto dist = protocols::runLdelConstruction(s);
+
+  // The O(1)-round protocol: hello, neighbor lists, proposals.
+  EXPECT_EQ(dist.rounds, 3);
+  auto distEdges = dist.graph.edges();
+  auto oracleEdges = net.ldel().edges();
+  std::sort(distEdges.begin(), distEdges.end());
+  std::sort(oracleEdges.begin(), oracleEdges.end());
+  EXPECT_EQ(distEdges, oracleEdges);
+}
+
+TEST_P(LdelProtocolVsOracle, LocalBoundaryDetectionMatchesFaceWalks) {
+  const auto sc = holeScenario(320 + static_cast<unsigned>(GetParam()));
+  core::HybridNetwork net(sc.points);
+  sim::Simulator s(net.udg());
+  const auto dist = protocols::runLdelConstruction(s);
+
+  // Oracle boundary nodes = hole ring members + the outer face walk.
+  std::set<graph::NodeId> oracle;
+  for (const auto& h : net.holes().holes) oracle.insert(h.ring.begin(), h.ring.end());
+  oracle.insert(net.holes().outerBoundary.begin(), net.holes().outerBoundary.end());
+
+  for (std::size_t v = 0; v < dist.isBoundary.size(); ++v) {
+    EXPECT_EQ(dist.isBoundary[v] != 0, oracle.contains(static_cast<graph::NodeId>(v)))
+        << "node " << v;
+  }
+}
+
+TEST_P(LdelProtocolVsOracle, GapNeighborsMatchRingAdjacency) {
+  const auto sc = holeScenario(340 + static_cast<unsigned>(GetParam()));
+  core::HybridNetwork net(sc.points);
+  sim::Simulator s(net.udg());
+  const auto dist = protocols::runLdelConstruction(s);
+
+  for (const auto& h : net.holes().holes) {
+    if (h.outer) continue;  // outer holes use the synthetic hull edge
+    const std::size_t k = h.ring.size();
+    std::set<graph::NodeId> distinct(h.ring.begin(), h.ring.end());
+    if (distinct.size() != k) continue;
+    for (std::size_t i = 0; i < k; ++i) {
+      const int pred = h.ring[(i + k - 1) % k];
+      const int v = h.ring[i];
+      const int succ = h.ring[(i + 1) % k];
+      // One of v's locally detected gaps must be exactly {pred, succ}.
+      bool found = false;
+      for (const auto& gap : dist.gaps[static_cast<std::size_t>(v)]) {
+        if ((gap[0] == pred && gap[1] == succ) || (gap[0] == succ && gap[1] == pred)) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "node " << v << " misses ring gap (" << pred << "," << succ
+                         << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LdelProtocolVsOracle, ::testing::Range(0, 4));
+
+TEST_P(LdelProtocolVsOracle, AssembledRingsMatchOracleRings) {
+  const auto sc = holeScenario(360 + static_cast<unsigned>(GetParam()));
+  core::HybridNetwork net(sc.points);
+  sim::Simulator s(net.udg());
+  const auto dist = protocols::runLdelConstruction(s);
+  const auto rings = protocols::assembleRingsFromGaps(dist);
+
+  // Canonicalize a ring to its sorted member set for matching.
+  auto keyOf = [](std::vector<int> ring) {
+    std::sort(ring.begin(), ring.end());
+    ring.erase(std::unique(ring.begin(), ring.end()), ring.end());
+    return ring;
+  };
+  std::map<std::vector<int>, std::vector<int>> byKey;
+  for (const auto& r : rings) byKey[keyOf(r)] = r;
+
+  // Every simple inner hole ring appears, with matching cyclic adjacency
+  // and counter-clockwise orientation.
+  for (const auto& h : net.holes().holes) {
+    if (h.outer) continue;
+    std::set<int> distinct(h.ring.begin(), h.ring.end());
+    if (distinct.size() != h.ring.size()) continue;
+    const auto it = byKey.find(keyOf(h.ring));
+    ASSERT_NE(it, byKey.end()) << "missing a hole ring";
+    const auto& got = it->second;
+    ASSERT_EQ(got.size(), h.ring.size());
+    // Same cyclic sequence: align at h.ring[0] and compare.
+    const auto at = std::find(got.begin(), got.end(), h.ring[0]);
+    ASSERT_NE(at, got.end());
+    std::vector<int> rotated(at, got.end());
+    rotated.insert(rotated.end(), got.begin(), at);
+    EXPECT_EQ(rotated, h.ring);
+  }
+}
+
+
+TEST(LdelProtocol, FullyDistributedPreprocessingMatchesOracleHulls) {
+  const auto sc = holeScenario(400);
+  core::HybridNetwork net(sc.points);
+  sim::Simulator s(net.udg());
+  protocols::PreprocessingReport rep;
+  std::vector<std::vector<int>> rings;
+  const auto out = protocols::runDistributedPreprocessing(net, s, &rep, 3, &rings);
+  EXPECT_GT(rep.ldelConstruction, 0);
+  EXPECT_TRUE(rep.treeIsSingle);
+
+  // Inner-hole hull nodes from the distributed run match the oracle.
+  std::set<int> distHull;
+  for (const auto& r : out.ringResults) {
+    if (r.turningAngle > 0.0) distHull.insert(r.hull.begin(), r.hull.end());
+  }
+  std::set<int> oracleHull;
+  for (const auto& a : net.abstractions()) {
+    const auto& hole = net.holes().holes[static_cast<std::size_t>(a.holeIndex)];
+    if (hole.outer) continue;  // outer holes need the CH(V) refinement
+    oracleHull.insert(a.hullNodes.begin(), a.hullNodes.end());
+  }
+  for (int v : oracleHull) {
+    EXPECT_TRUE(distHull.contains(v)) << "oracle hull node " << v << " missing";
+  }
+  // Every distributed hull node knows the whole clique.
+  for (int v : distHull) {
+    EXPECT_FALSE(out.hullKnowledge[static_cast<std::size_t>(v)].empty());
+  }
+}
+
+
+TEST(LdelProtocol, SecondRunDetectsOuterHoles) {
+  // A scenario with boundary concavities: the oracle finds outer holes;
+  // the distributed second hull run (§5.4) must find them too.
+  scenario::ScenarioParams p;
+  p.width = p.height = 16.0;
+  p.seed = 410;
+  p.jitter = 0.35;  // rougher boundary: more outer holes
+  p.obstacles.push_back(scenario::regularPolygonObstacle({8, 8}, 2.5, 6));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  int oracleOuter = 0;
+  std::set<int> oracleOuterHull;
+  for (const auto& a : net.abstractions()) {
+    const auto& hole = net.holes().holes[static_cast<std::size_t>(a.holeIndex)];
+    if (!hole.outer) continue;
+    ++oracleOuter;
+    oracleOuterHull.insert(a.hullNodes.begin(), a.hullNodes.end());
+  }
+  if (oracleOuter == 0) GTEST_SKIP() << "no outer holes in this instance";
+
+  sim::Simulator s(net.udg());
+  protocols::PreprocessingReport rep;
+  std::vector<std::vector<int>> rings;
+  const auto out = protocols::runDistributedPreprocessing(net, s, &rep, 3, &rings);
+
+  // Collect hull nodes of the second-run rings (they turn ccw like holes).
+  std::set<int> distHull;
+  for (const auto& r : out.ringResults) {
+    if (r.turningAngle > 0.0) distHull.insert(r.hull.begin(), r.hull.end());
+  }
+  int covered = 0;
+  for (int v : oracleOuterHull) covered += distHull.contains(v) ? 1 : 0;
+  // The derivations differ in degenerate corners, but the bulk of the
+  // oracle's outer-hole hull nodes must be rediscovered.
+  EXPECT_GE(covered * 10, static_cast<int>(oracleOuterHull.size()) * 8)
+      << covered << " of " << oracleOuterHull.size();
+}
+
+TEST(LdelProtocol, ConstantRoundsAndLinearishMessages) {
+  for (const std::size_t n : {200u, 800u}) {
+    const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(n, 99));
+    const auto udg = delaunay::buildUnitDiskGraph(sc.points, 1.0);
+    sim::Simulator s(udg);
+    const auto dist = protocols::runLdelConstruction(s);
+    EXPECT_EQ(dist.rounds, 3);
+    // Messages: 2 broadcasts per node plus triangle proposals: O(n) with a
+    // degree-bounded constant.
+    EXPECT_LT(dist.messages, static_cast<long>(udg.numNodes()) * 40);
+  }
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/hybrid_network.hpp"
+#include "routing/overlay_graph.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid::routing {
+namespace {
+
+class OverlayFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario::ScenarioParams p;
+    p.width = p.height = 18.0;
+    p.seed = 101;
+    p.obstacles.push_back(scenario::rectangleObstacle({7.0, 7.0}, {11.0, 11.0}));
+    sc_ = new scenario::Scenario(scenario::makeScenario(p));
+    net_ = new core::HybridNetwork(sc_->points);
+  }
+  static void TearDownTestSuite() {
+    delete net_;
+    delete sc_;
+  }
+  static scenario::Scenario* sc_;
+  static core::HybridNetwork* net_;
+};
+
+scenario::Scenario* OverlayFixture::sc_ = nullptr;
+core::HybridNetwork* OverlayFixture::net_ = nullptr;
+
+TEST_F(OverlayFixture, WaypointsRouteAroundTheBlock) {
+  const auto& overlay = net_->router().overlay();
+  // Endpoints on opposite sides of the square hole: the straight segment
+  // is blocked, so waypoints must be non-empty hull corners.
+  const auto wp = overlay.waypoints({4.0, 9.0}, {14.0, 9.0});
+  ASSERT_TRUE(wp.has_value());
+  ASSERT_FALSE(wp->empty());
+  for (graph::NodeId w : *wp) {
+    const auto pos = net_->ldel().position(w);
+    // All waypoints are abstraction (hull) sites near the hole.
+    EXPECT_GT(pos.x, 4.0);
+    EXPECT_LT(pos.x, 14.0);
+  }
+}
+
+TEST_F(OverlayFixture, OverlayDistanceBounds) {
+  const auto& overlay = net_->router().overlay();
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> d(1.0, 17.0);
+  const geom::VisibilityContext vis(net_->holes().holePolygons());
+  for (int it = 0; it < 40; ++it) {
+    const geom::Vec2 a{d(rng), d(rng)};
+    const geom::Vec2 b{d(rng), d(rng)};
+    bool bad = false;
+    for (const auto& h : net_->holes().holes) {
+      bad = bad || h.polygon.contains(a) || h.polygon.contains(b);
+    }
+    if (bad) continue;
+    const double od = overlay.overlayDistance(a, b);
+    // Never shorter than the straight line...
+    EXPECT_GE(od, geom::dist(a, b) - 1e-9);
+    // ...and when visible, within the Delaunay spanner factor (the
+    // overlay Delaunay does not keep direct edges between arbitrary
+    // temporary endpoints; Thm 2.8's 1.998 bounds the detour).
+    if (vis.visible(a, b)) EXPECT_LE(od, 1.998 * geom::dist(a, b) + 1e-9);
+  }
+}
+
+TEST_F(OverlayFixture, EndpointOnSiteIsReusedNotDuplicated) {
+  const auto& overlay = net_->router().overlay();
+  ASSERT_FALSE(overlay.sites().empty());
+  const graph::NodeId site = overlay.sites()[0];
+  const geom::Vec2 sp = net_->ldel().position(site);
+  // Query from exactly a site position: must not confuse the Delaunay
+  // re-triangulation (duplicate points) and must not return the site as a
+  // waypoint of itself.
+  const auto wp = overlay.waypoints(sp, {2.0, 2.0});
+  ASSERT_TRUE(wp.has_value());
+  for (graph::NodeId w : *wp) EXPECT_NE(w, site);
+}
+
+TEST_F(OverlayFixture, SameStartAndEnd) {
+  const auto& overlay = net_->router().overlay();
+  const auto wp = overlay.waypoints({5.0, 5.0}, {5.0, 5.0});
+  ASSERT_TRUE(wp.has_value());
+  EXPECT_TRUE(wp->empty());
+  EXPECT_DOUBLE_EQ(overlay.overlayDistance({5.0, 5.0}, {5.0, 5.0}), 0.0);
+}
+
+TEST_F(OverlayFixture, VisibilityModeHasMoreEdgesThanDelaunay) {
+  auto vis = net_->makeRouter({SiteMode::HullNodes, EdgeMode::Visibility, true});
+  auto del = net_->makeRouter({SiteMode::HullNodes, EdgeMode::Delaunay, true});
+  EXPECT_GT(vis->overlay().numPrecomputedEdges(), del->overlay().numPrecomputedEdges());
+  EXPECT_EQ(vis->overlay().sites().size(), del->overlay().sites().size());
+}
+
+TEST_F(OverlayFixture, BoundarySitesAreASupersetOfHullSites) {
+  auto hull = net_->makeRouter({SiteMode::HullNodes, EdgeMode::Delaunay, true});
+  auto bnd = net_->makeRouter({SiteMode::AllHoleNodes, EdgeMode::Delaunay, true});
+  auto lch = net_->makeRouter({SiteMode::LocallyConvexHull, EdgeMode::Delaunay, true});
+  const auto& hs = hull->overlay().sites();
+  const auto& bs = bnd->overlay().sites();
+  const auto& ls = lch->overlay().sites();
+  EXPECT_LE(hs.size(), ls.size());
+  EXPECT_LE(ls.size(), bs.size());
+  for (graph::NodeId v : hs) {
+    EXPECT_NE(std::find(bs.begin(), bs.end(), v), bs.end());
+  }
+}
+
+}  // namespace
+}  // namespace hybrid::routing

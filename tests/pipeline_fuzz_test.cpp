@@ -1,0 +1,101 @@
+// Differential fuzzing of the whole pipeline: across many random seeds and
+// obstacle mixes, a fixed battery of invariants must hold. This is the
+// catch-all for rare geometric configurations that the targeted tests
+// never generate.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/hybrid_network.hpp"
+#include "graph/shortest_path.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+class PipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzz, InvariantBattery) {
+  const int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed) * 977 + 13);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  scenario::ScenarioParams p;
+  p.width = p.height = 14.0 + 6.0 * uni(rng);
+  p.seed = static_cast<unsigned>(seed) + 4000;
+  // 0-3 random obstacles of random shapes, kept away from each other.
+  const int numObs = seed % 4;
+  const double slots[3][2] = {{0.28, 0.3}, {0.7, 0.65}, {0.3, 0.72}};
+  for (int o = 0; o < numObs; ++o) {
+    const geom::Vec2 c{slots[o][0] * p.width, slots[o][1] * p.height};
+    const double r = 1.4 + 1.2 * uni(rng);
+    switch ((seed + o) % 3) {
+      case 0:
+        p.obstacles.push_back(scenario::regularPolygonObstacle(c, r, 5 + o, uni(rng)));
+        break;
+      case 1:
+        p.obstacles.push_back(
+            scenario::rectangleObstacle({c.x - r, c.y - r * 0.7}, {c.x + r, c.y + r * 0.7}));
+        break;
+      default:
+        p.obstacles.push_back(scenario::uShapeObstacle(c, 2.0 * r, 1.7 * r, 1.3));
+        break;
+    }
+  }
+  const auto sc = scenario::makeScenario(p);
+  ASSERT_GT(sc.points.size(), 200u);
+  core::HybridNetwork net(sc.points);
+
+  // I1: the LDel graph is a planar connected spanner-candidate.
+  EXPECT_EQ(net.ldelResult().removedCrossings, 0) << "seed " << seed;
+  EXPECT_TRUE(net.ldel().isConnected());
+
+  // I2: every hole ring is a closed walk of graph edges (inner holes).
+  for (const auto& h : net.holes().holes) {
+    if (h.outer) continue;
+    for (std::size_t i = 0; i < h.ring.size(); ++i) {
+      ASSERT_TRUE(net.ldel().hasEdge(h.ring[i], h.ring[(i + 1) % h.ring.size()]))
+          << "seed " << seed;
+    }
+  }
+
+  // I3: abstraction sandwich |hull| <= |lch| <= |ring| and hull encloses.
+  for (const auto& a : net.abstractions()) {
+    const auto& ring = net.holes().holes[static_cast<std::size_t>(a.holeIndex)].ring;
+    EXPECT_LE(a.hullNodes.size(), a.locallyConvexHull.size());
+    EXPECT_LE(a.locallyConvexHull.size(), ring.size());
+    if (a.hullPolygon.size() >= 3) {
+      for (graph::NodeId v : ring) {
+        EXPECT_TRUE(a.hullPolygon.contains(net.ldel().position(v))) << "seed " << seed;
+      }
+    }
+  }
+
+  // I4: routing battery — delivery, validity, sane stretch, few fallbacks.
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  int fallbacks = 0;
+  for (int it = 0; it < 25; ++it) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    const auto r = net.route(s, t);
+    ASSERT_TRUE(r.delivered) << "seed " << seed << ": " << s << "->" << t;
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      ASSERT_TRUE(net.ldel().hasEdge(r.path[i], r.path[i + 1])) << "seed " << seed;
+    }
+    EXPECT_LT(net.stretch(r, s, t), 36.0) << "seed " << seed;
+    fallbacks += r.fallbacks;
+  }
+  EXPECT_LE(fallbacks, 6) << "seed " << seed;
+
+  // I5: storage classes behave.
+  const auto rep = net.storageReport();
+  EXPECT_EQ(rep.maxOtherNodeStorage, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hybrid

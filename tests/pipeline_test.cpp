@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/hybrid_network.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+scenario::Scenario squareHoleScenario(unsigned seed = 3) {
+  scenario::ScenarioParams p;
+  p.width = 20.0;
+  p.height = 20.0;
+  p.seed = seed;
+  p.obstacles.push_back(scenario::rectangleObstacle({7.5, 7.5}, {12.5, 12.5}));
+  return scenario::makeScenario(p);
+}
+
+TEST(Pipeline, ScenarioIsConnectedAndDuplicateFree) {
+  const auto s = squareHoleScenario();
+  ASSERT_GT(s.points.size(), 500u);
+  core::HybridNetwork net(s.points);
+  EXPECT_TRUE(net.udg().isConnected());
+  EXPECT_TRUE(net.ldel().isConnected());
+}
+
+TEST(Pipeline, LdelIsPlanarAndSubgraphOfUdg) {
+  const auto s = squareHoleScenario();
+  core::HybridNetwork net(s.points);
+  EXPECT_EQ(net.ldelResult().removedCrossings, 0);
+  EXPECT_TRUE(net.ldel().isPlanarEmbedding());
+  for (const auto& [u, v] : net.ldel().edges()) {
+    EXPECT_TRUE(net.udg().hasEdge(u, v)) << u << "," << v;
+  }
+}
+
+TEST(Pipeline, DetectsTheCarvedHole) {
+  const auto s = squareHoleScenario();
+  core::HybridNetwork net(s.points);
+  // At least one inner hole whose polygon contains the obstacle center.
+  bool found = false;
+  for (const auto& h : net.holes().holes) {
+    if (!h.outer && h.polygon.contains({10.0, 10.0})) {
+      found = true;
+      EXPECT_GE(h.ring.size(), 8u);  // a 5x5 hole has a long boundary
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Pipeline, AbstractionHullIsConvexAndEnclosesHole) {
+  const auto s = squareHoleScenario();
+  core::HybridNetwork net(s.points);
+  ASSERT_FALSE(net.abstractions().empty());
+  for (const auto& a : net.abstractions()) {
+    if (a.hullPolygon.size() < 3) continue;
+    EXPECT_TRUE(a.hullPolygon.isConvex());
+    const auto& hole = net.holes().holes[static_cast<std::size_t>(a.holeIndex)];
+    for (graph::NodeId v : hole.ring) {
+      EXPECT_TRUE(a.hullPolygon.contains(net.ldel().position(v)));
+    }
+    // Locally convex hull is sandwiched between hull and full ring.
+    EXPECT_LE(a.hullNodes.size(), a.locallyConvexHull.size());
+    EXPECT_LE(a.locallyConvexHull.size(), hole.ring.size());
+  }
+  EXPECT_TRUE(net.convexHullsDisjoint());
+}
+
+TEST(Pipeline, HybridRouterDeliversAllPairs) {
+  const auto s = squareHoleScenario();
+  core::HybridNetwork net(s.points);
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(s.points.size()) - 1);
+  int totalFallbacks = 0;
+  for (int i = 0; i < 100; ++i) {
+    const int a = pick(rng);
+    const int b = pick(rng);
+    const auto r = net.route(a, b);
+    ASSERT_TRUE(r.delivered) << "pair " << a << " -> " << b;
+    const double st = net.stretch(r, a, b);
+    EXPECT_GE(st, 1.0 - 1e-9);
+    EXPECT_LT(st, 40.0) << "stretch way beyond the paper's constants";
+    totalFallbacks += r.fallbacks;
+  }
+  // The protocol should cover nearly all pairs without global fallbacks.
+  EXPECT_LE(totalFallbacks, 10);
+}
+
+TEST(Pipeline, StorageIndependentOfDensity) {
+  // Same hole, two densities: hull storage must not grow with n.
+  scenario::ScenarioParams p1;
+  p1.width = p1.height = 18.0;
+  p1.obstacles.push_back(scenario::rectangleObstacle({7.0, 7.0}, {11.0, 11.0}));
+  p1.seed = 5;
+  scenario::ScenarioParams p2 = p1;
+  p2.spacing = p1.spacing * 0.7;  // ~2x the nodes
+  core::HybridNetwork net1(scenario::makeScenario(p1).points);
+  core::HybridNetwork net2(scenario::makeScenario(p2).points);
+  ASSERT_FALSE(net1.abstractions().empty());
+  ASSERT_FALSE(net2.abstractions().empty());
+  const auto r1 = net1.storageReport();
+  const auto r2 = net2.storageReport();
+  EXPECT_EQ(r1.maxOtherNodeStorage, 1);
+  EXPECT_EQ(r2.maxOtherNodeStorage, 1);
+  // Hull size tracks the hole geometry, not n: allow modest variation.
+  EXPECT_LT(static_cast<double>(r2.maxHullNodeStorage),
+            2.0 * static_cast<double>(r1.maxHullNodeStorage) + 8.0);
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numbers>
+#include <set>
+
+#include "core/hybrid_network.hpp"
+#include "delaunay/udg.hpp"
+#include "protocols/overlay_tree.hpp"
+#include "protocols/preprocessing.hpp"
+#include "protocols/ring_pipeline.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+// The ring pipeline must reproduce the oracle abstraction on a variety of
+// hole shapes, not just the hexagon of the main test.
+class RingPipelineVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingPipelineVsOracle, HullsMatchOracle) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 18.0;
+  p.seed = 200 + static_cast<unsigned>(GetParam());
+  switch (GetParam() % 4) {
+    case 0:
+      p.obstacles.push_back(scenario::regularPolygonObstacle({9, 9}, 3.0, 5));
+      break;
+    case 1:
+      p.obstacles.push_back(scenario::rectangleObstacle({6, 7}, {12, 11}));
+      break;
+    case 2:
+      p.obstacles.push_back(scenario::uShapeObstacle({9, 9}, 7.0, 6.0, 1.4));
+      break;
+    default:
+      p.obstacles.push_back(scenario::regularPolygonObstacle({6, 6}, 2.0, 6));
+      p.obstacles.push_back(scenario::regularPolygonObstacle({12.5, 12.5}, 2.0, 7));
+      break;
+  }
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  sim::Simulator s(net.udg());
+  protocols::RingInputs rings;
+  for (const auto& h : net.holes().holes) rings.rings.push_back(h.ring);
+  protocols::RingPipeline pipeline(s, std::move(rings));
+  const auto results = pipeline.run();
+
+  for (std::size_t hi = 0; hi < net.holes().holes.size(); ++hi) {
+    auto got = results[hi].hull;
+    auto expect = net.abstractions()[hi].hullNodes;
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect) << "hole " << hi << " variant " << GetParam();
+    EXPECT_GT(results[hi].turningAngle, 0.0) << "holes turn ccw";
+    // Leader is the minimum id of the (deduplicated) ring.
+    std::set<int> ring(net.holes().holes[hi].ring.begin(),
+                       net.holes().holes[hi].ring.end());
+    EXPECT_EQ(results[hi].leader, *ring.begin());
+    EXPECT_EQ(results[hi].size, static_cast<int>(ring.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RingPipelineVsOracle, ::testing::Range(0, 8));
+
+TEST(OverlayTreeExtra, DeterministicPerSeedAndDifferentAcrossSeeds) {
+  const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(500, 91));
+  const auto udg = delaunay::buildUnitDiskGraph(sc.points, 1.0);
+  sim::Simulator s1(udg);
+  sim::Simulator s2(udg);
+  sim::Simulator s3(udg);
+  const auto t1 = protocols::buildOverlayTree(s1, 7);
+  const auto t2 = protocols::buildOverlayTree(s2, 7);
+  const auto t3 = protocols::buildOverlayTree(s3, 8);
+  EXPECT_EQ(t1.parent, t2.parent);
+  EXPECT_NE(t1.parent, t3.parent);
+  EXPECT_TRUE(t1.isSingleTree());
+  EXPECT_TRUE(t3.isSingleTree());
+}
+
+TEST(OverlayTreeExtra, ParentChildConsistency) {
+  const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(400, 92));
+  const auto udg = delaunay::buildUnitDiskGraph(sc.points, 1.0);
+  sim::Simulator s(udg);
+  const auto tree = protocols::buildOverlayTree(s, 3);
+  for (std::size_t v = 0; v < tree.parent.size(); ++v) {
+    const int p = tree.parent[v];
+    if (p < 0) continue;
+    const auto& ch = tree.children[static_cast<std::size_t>(p)];
+    EXPECT_NE(std::find(ch.begin(), ch.end(), static_cast<int>(v)), ch.end())
+        << "child link missing for " << v;
+  }
+  for (std::size_t v = 0; v < tree.children.size(); ++v) {
+    for (int c : tree.children[v]) {
+      EXPECT_EQ(tree.parent[static_cast<std::size_t>(c)], static_cast<int>(v));
+    }
+  }
+}
+
+TEST(PreprocessingExtra, HoleFreeNetworkStillBuildsTree) {
+  const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(300, 93));
+  core::HybridNetwork net(sc.points);
+  sim::Simulator s(net.udg());
+  protocols::PreprocessingReport rep;
+  const auto out = protocols::runPreprocessing(net, s, &rep, 5);
+  EXPECT_TRUE(rep.treeIsSingle);
+  EXPECT_GT(rep.treeConstruction, 0);
+  // With no inner holes, the hull-node clique is empty or tiny.
+  std::size_t hullInfo = 0;
+  for (const auto& k : out.hullKnowledge) hullInfo += k.size();
+  // Whatever boundary artifacts exist, the result is consistent:
+  for (std::size_t v = 0; v < out.hullKnowledge.size(); ++v) {
+    if (!out.hullKnowledge[v].empty()) {
+      EXPECT_NE(std::find(out.hullKnowledge[v].begin(), out.hullKnowledge[v].end(),
+                          static_cast<int>(v)),
+                out.hullKnowledge[v].end())
+          << "hull node must know itself";
+    }
+  }
+}
+
+TEST(PreprocessingExtra, CommunicationWorkIsPolylog) {
+  // Per-node communication of the ring phases alone (no tree) on a large
+  // ring: Lemma 5.2 promises O(log k) messages per node.
+  const int k = 2048;
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < k; ++i) {
+    const double a = 2.0 * std::numbers::pi * i / k;
+    pts.push_back({1000.0 * std::cos(a), 1000.0 * std::sin(a)});
+  }
+  const auto udg = delaunay::buildUnitDiskGraph(pts, 2.0 * 1000.0 * std::sin(std::numbers::pi / k) * 1.05);
+  sim::Simulator s(udg);
+  std::vector<int> ring(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) ring[static_cast<std::size_t>(i)] = i;
+  protocols::RingPipeline pipeline(s, {{ring}});
+  pipeline.run();
+  long maxMsgs = 0;
+  for (const auto& st : s.stats()) {
+    maxMsgs = std::max(maxMsgs, st.sentAdHoc + st.sentLongRange);
+  }
+  // 11 = log2(2048); allow a small constant factor.
+  EXPECT_LE(maxMsgs, 8 * 11);
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "abstraction/dominating_set.hpp"
+#include "core/hybrid_network.hpp"
+#include "delaunay/udg.hpp"
+#include "protocols/bitonic_sort.hpp"
+#include "protocols/dominating_set_protocol.hpp"
+#include "protocols/overlay_tree.hpp"
+#include "protocols/preprocessing.hpp"
+#include "protocols/ring_pipeline.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+// A circle of k nodes with unit-disk radius just above the chord length, so
+// the UDG is exactly the ring.
+graph::GeometricGraph circleRing(int k, double radiusScale = 1.05) {
+  std::vector<geom::Vec2> pts;
+  const double r = 10.0;
+  for (int i = 0; i < k; ++i) {
+    const double a = 2.0 * std::numbers::pi * i / k;
+    pts.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  const double chord = 2.0 * r * std::sin(std::numbers::pi / k);
+  return delaunay::buildUnitDiskGraph(pts, chord * radiusScale);
+}
+
+TEST(Simulator, EnforcesLinkRules) {
+  const auto g = circleRing(8);
+  sim::Simulator s(g);
+  class Probe : public sim::Protocol {
+   public:
+    void onStart(sim::Context& ctx) override {
+      if (ctx.self() != 0) return;
+      EXPECT_THROW(ctx.sendAdHoc(4, sim::Message{}), std::logic_error);
+      EXPECT_THROW(ctx.sendLongRange(4, sim::Message{}), std::logic_error);
+      ctx.sendAdHoc(1, sim::Message{});  // neighbor: fine
+      sim::Message intro;
+      intro.ids = {4};
+      ctx.sendAdHoc(1, std::move(intro));
+    }
+    void onMessage(sim::Context& ctx, const sim::Message& m) override {
+      if (ctx.self() == 1 && !m.ids.empty()) {
+        // Node 1 learned node 4 by introduction; long-range now legal.
+        EXPECT_TRUE(ctx.knows(4));
+        ctx.sendLongRange(4, sim::Message{});
+      }
+    }
+  } probe;
+  const int rounds = s.run(probe);
+  EXPECT_EQ(rounds, 2);
+  EXPECT_GE(s.totalMessages(), 3L);
+}
+
+class RingPipelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingPipelineSweep, ElectsLeaderSizeAngleAndHull) {
+  const int k = GetParam();
+  const auto g = circleRing(k);
+  sim::Simulator s(g);
+  std::vector<int> ring(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) ring[static_cast<std::size_t>(i)] = i;
+
+  protocols::RingPipeline pipeline(s, {{ring}});
+  const auto results = pipeline.run();
+  ASSERT_EQ(results.size(), 1u);
+  const auto& r = results[0];
+  EXPECT_EQ(r.leader, 0);
+  EXPECT_EQ(r.size, k);
+  // Counter-clockwise circle: turning angle +2*pi.
+  EXPECT_NEAR(r.turningAngle, 2.0 * std::numbers::pi, 1e-6);
+  // All circle points are hull points.
+  EXPECT_EQ(r.hull.size(), static_cast<std::size_t>(k));
+
+  // Round complexity: all four phases O(log k).
+  const auto& rounds = pipeline.rounds();
+  const int logk = static_cast<int>(std::ceil(std::log2(k)));
+  EXPECT_LE(rounds.pointerJumping, logk + 4);
+  EXPECT_LE(rounds.aggregation, logk + 4);
+  EXPECT_LE(rounds.broadcast, logk + 4);
+  EXPECT_LE(rounds.idAssignment, 2 * logk + 6);
+
+  // Every node got its ring-distance ID.
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(pipeline.ringIdOf(i), i) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingPipelineSweep,
+                         ::testing::Values(3, 4, 5, 7, 8, 13, 16, 21, 32, 33, 100, 128,
+                                           255, 256, 257, 512));
+
+TEST(RingPipeline, ClockwiseRingHasNegativeAngle) {
+  const int k = 24;
+  const auto g = circleRing(k);
+  sim::Simulator s(g);
+  std::vector<int> ring;
+  for (int i = k; i-- > 0;) ring.push_back(i);  // clockwise order
+  protocols::RingPipeline pipeline(s, {{ring}});
+  const auto results = pipeline.run();
+  EXPECT_NEAR(results[0].turningAngle, -2.0 * std::numbers::pi, 1e-6);
+}
+
+TEST(RingPipeline, NonConvexRingHullIsSubset) {
+  // A star-shaped (alternating radius) ring: only the outer points are on
+  // the hull.
+  const int k = 16;
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < k; ++i) {
+    const double a = 2.0 * std::numbers::pi * i / k;
+    const double r = i % 2 == 0 ? 10.0 : 7.0;
+    pts.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  const auto g = delaunay::buildUnitDiskGraph(pts, 5.0);
+  sim::Simulator s(g);
+  std::vector<int> ring(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) ring[static_cast<std::size_t>(i)] = i;
+  protocols::RingPipeline pipeline(s, {{ring}});
+  const auto results = pipeline.run();
+  ASSERT_EQ(results[0].hull.size(), 8u);
+  for (int v : results[0].hull) EXPECT_EQ(v % 2, 0);
+}
+
+class BitonicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitonicSweep, SortsAndUsesLogSquaredRounds) {
+  const int k = GetParam();
+  const auto g = circleRing(k);
+  sim::Simulator s(g);
+  std::vector<int> ring(static_cast<std::size_t>(k));
+  std::vector<double> keys(static_cast<std::size_t>(k));
+  std::mt19937 rng(static_cast<unsigned>(k));
+  std::uniform_real_distribution<double> d(-100.0, 100.0);
+  for (int i = 0; i < k; ++i) {
+    ring[static_cast<std::size_t>(i)] = i;
+    keys[static_cast<std::size_t>(i)] = d(rng);
+  }
+  protocols::BitonicSorter sorter(s, ring, keys);
+  const int rounds = sorter.run();
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorter.sortedKeys(), expected);
+  const int logk = static_cast<int>(std::log2(k));
+  EXPECT_EQ(rounds, logk * (logk + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSweep, ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Bitonic, RejectsNonPowerOfTwo) {
+  const auto g = circleRing(6);
+  sim::Simulator s(g);
+  EXPECT_THROW(protocols::BitonicSorter(s, {0, 1, 2, 3, 4, 5}, {1, 2, 3, 4, 5, 6}),
+               std::invalid_argument);
+}
+
+class DsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DsSweep, DominatesWithConstantApproximation) {
+  const int len = GetParam();
+  // Build a long path embedded on a line.
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < len; ++i) pts.push_back({static_cast<double>(i) * 0.9, 0.0});
+  const auto g = delaunay::buildUnitDiskGraph(pts, 1.0);
+  sim::Simulator s(g);
+  std::vector<int> chain(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) chain[static_cast<std::size_t>(i)] = i;
+
+  protocols::DominatingSetProtocol proto(s, {chain}, 7);
+  const int rounds = proto.run();
+  const auto& ds = proto.dominatingSet(0);
+  EXPECT_TRUE(abstraction::dominatesChain(chain, ds));
+  // Optimal is ceil(len/3); the randomized protocol should stay within ~3x.
+  EXPECT_LE(ds.size(), static_cast<std::size_t>((len + 2) / 3) * 3 + 2);
+  // O(log n) super-rounds of three rounds each (randomized; generous slack).
+  EXPECT_LE(rounds, 3 * (3 * static_cast<int>(std::log2(len + 1)) + 12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, DsSweep, ::testing::Values(2, 3, 5, 10, 40, 200, 1000));
+
+TEST(OverlayTree, SingleTreeWithLogarithmicHeight) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 16.0;
+  p.seed = 11;
+  const auto sc = scenario::makeScenario(p);
+  const auto udg = delaunay::buildUnitDiskGraph(sc.points, 1.0);
+  sim::Simulator s(udg);
+  const auto tree = protocols::buildOverlayTree(s, 5);
+  EXPECT_TRUE(tree.isSingleTree());
+  const int logn = static_cast<int>(std::ceil(std::log2(sc.points.size())));
+  EXPECT_LE(tree.height, 4 * logn);
+  // O(log^2 n) construction rounds (phases x per-phase budget).
+  EXPECT_LE(tree.rounds, 24 * logn * logn + 128);
+}
+
+TEST(Preprocessing, MatchesOracleAbstraction) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 18.0;
+  p.seed = 21;
+  p.obstacles.push_back(scenario::regularPolygonObstacle({9.0, 9.0}, 3.0, 8));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  ASSERT_FALSE(net.abstractions().empty());
+
+  sim::Simulator s(net.udg());
+  protocols::PreprocessingReport rep;
+  const auto outputs = protocols::runPreprocessing(net, s, &rep, 13);
+
+  // Ring results must reproduce the oracle hulls for every hole.
+  for (std::size_t hi = 0; hi < net.holes().holes.size(); ++hi) {
+    const auto& oracle = net.abstractions()[hi];
+    auto distHull = outputs.ringResults[hi].hull;
+    auto oracleHull = oracle.hullNodes;
+    std::sort(distHull.begin(), distHull.end());
+    std::sort(oracleHull.begin(), oracleHull.end());
+    EXPECT_EQ(distHull, oracleHull) << "hole " << hi;
+    // Holes turn counter-clockwise (+2*pi).
+    EXPECT_NEAR(outputs.ringResults[hi].turningAngle, 2.0 * std::numbers::pi, 1e-6);
+    EXPECT_EQ(outputs.ringResults[hi].size,
+              static_cast<int>(protocols::RingInputs{{net.holes().holes[hi].ring}}
+                                   .rings[0]
+                                   .size()));
+  }
+  // The outer boundary (last ring) turns clockwise.
+  EXPECT_NEAR(outputs.ringResults.back().turningAngle, -2.0 * std::numbers::pi, 1e-6);
+
+  // Every hull node learned every other hull node (the clique of §5.5).
+  std::vector<int> allHull;
+  for (std::size_t hi = 0; hi < net.holes().holes.size(); ++hi) {
+    allHull.insert(allHull.end(), outputs.ringResults[hi].hull.begin(),
+                   outputs.ringResults[hi].hull.end());
+  }
+  std::sort(allHull.begin(), allHull.end());
+  allHull.erase(std::unique(allHull.begin(), allHull.end()), allHull.end());
+  for (int v : allHull) {
+    auto knows = outputs.hullKnowledge[static_cast<std::size_t>(v)];
+    std::sort(knows.begin(), knows.end());
+    EXPECT_EQ(knows, allHull) << "hull node " << v;
+  }
+
+  // Dominating sets dominate their bays.
+  std::size_t flat = 0;
+  for (const auto& a : net.abstractions()) {
+    for (const auto& bay : a.bays) {
+      EXPECT_TRUE(abstraction::dominatesChain(bay.chain, outputs.bayDominatingSets[flat]))
+          << "bay " << flat;
+      ++flat;
+    }
+  }
+
+  EXPECT_TRUE(rep.treeIsSingle);
+  EXPECT_GT(rep.totalRounds(), 0);
+  EXPECT_LT(rep.dynamicRounds(), rep.totalRounds());
+}
+
+}  // namespace
+}  // namespace hybrid

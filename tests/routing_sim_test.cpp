@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "delaunay/ldel.hpp"
+#include "protocols/routing_sim.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+TEST(ParallelLdel, ThreadCountDoesNotChangeTheGraph) {
+  const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(600, 81));
+  delaunay::LDelOptions serial;
+  serial.threads = 1;
+  delaunay::LDelOptions parallel;
+  parallel.threads = 4;
+  const auto a = delaunay::buildLocalizedDelaunay(sc.points, serial);
+  const auto b = delaunay::buildLocalizedDelaunay(sc.points, parallel);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+  EXPECT_EQ(a.triangles, b.triangles);
+  EXPECT_EQ(a.gabrielEdges, b.gabrielEdges);
+}
+
+TEST(RoutingSim, TransmissionMatchesOracleRoute) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 16.0;
+  p.seed = 83;
+  p.obstacles.push_back(scenario::regularPolygonObstacle({8, 8}, 2.5, 6));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+  sim::Simulator simulator(net.udg());
+
+  std::mt19937 rng(2);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  for (int it = 0; it < 25; ++it) {
+    const int s = pick(rng);
+    int t = pick(rng);
+    if (t == s) t = (t + 1) % static_cast<int>(sc.points.size());
+    const auto oracle = net.route(s, t);
+    const auto tx = protocols::simulateTransmission(net, simulator, s, t);
+    ASSERT_TRUE(tx.delivered) << s << " -> " << t;
+    EXPECT_EQ(tx.adHocHops, static_cast<int>(oracle.hops()));
+    // Position handshake (2 rounds) + one round per ad hoc hop.
+    EXPECT_EQ(tx.rounds, tx.adHocHops + 2);
+    EXPECT_EQ(tx.longRangeMessages, 2);
+    EXPECT_EQ(tx.adHocMessages, tx.adHocHops);
+  }
+}
+
+TEST(RoutingSim, AdjacentPairCostsThreeRounds) {
+  const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(150, 85));
+  core::HybridNetwork net(sc.points);
+  sim::Simulator simulator(net.udg());
+  const int s = 0;
+  const auto nbrs = net.ldel().neighbors(s);
+  ASSERT_FALSE(nbrs.empty());
+  const auto tx = protocols::simulateTransmission(net, simulator, s, nbrs[0]);
+  EXPECT_TRUE(tx.delivered);
+  EXPECT_EQ(tx.adHocHops, 1);
+  EXPECT_EQ(tx.rounds, 3);
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "delaunay/udg.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid::scenario {
+namespace {
+
+TEST(Shapes, RectangleAndPolygonAreValid) {
+  const auto rect = rectangleObstacle({1, 2}, {4, 5});
+  EXPECT_EQ(rect.size(), 4u);
+  EXPECT_TRUE(rect.isConvex());
+  EXPECT_TRUE(rect.isCounterClockwise());
+  EXPECT_DOUBLE_EQ(rect.area(), 9.0);
+
+  for (int k = 3; k <= 9; ++k) {
+    const auto poly = regularPolygonObstacle({0, 0}, 2.0, k, 0.3);
+    EXPECT_EQ(poly.size(), static_cast<std::size_t>(k));
+    EXPECT_TRUE(poly.isConvex());
+    EXPECT_TRUE(poly.isCounterClockwise());
+    EXPECT_TRUE(poly.containsStrict({0, 0}));
+  }
+}
+
+TEST(Shapes, UShapeIsSimpleConcaveAndOpensUp) {
+  const auto u = uShapeObstacle({0, 0}, 6.0, 5.0, 1.0);
+  EXPECT_FALSE(u.isConvex());
+  EXPECT_TRUE(u.isCounterClockwise());
+  // Bottom wall is solid, slot is open.
+  EXPECT_TRUE(u.containsStrict({0.0, -2.2}));
+  EXPECT_FALSE(u.containsStrict({0.0, 0.0}));   // inside the slot
+  EXPECT_TRUE(u.containsStrict({2.7, 0.0}));    // right wall
+  EXPECT_TRUE(u.containsStrict({-2.7, 0.0}));   // left wall
+  // No self intersections.
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    for (std::size_t j = i + 1; j < u.size(); ++j) {
+      if ((i + 1) % u.size() == j || (j + 1) % u.size() == i) continue;
+      EXPECT_FALSE(geom::segmentsCrossProperly(u.edge(i), u.edge(j)));
+    }
+  }
+}
+
+TEST(Shapes, CombGeometry) {
+  const int teeth = 4;
+  const auto comb = combObstacle({0, 0}, teeth, 2.0, 3.0, 8.0, 1.5);
+  EXPECT_EQ(comb.size(), static_cast<std::size_t>(2 + 4 * teeth - 2));
+  EXPECT_TRUE(comb.isCounterClockwise());
+  EXPECT_FALSE(comb.isConvex());
+  // Tooth interior vs gap.
+  EXPECT_TRUE(comb.containsStrict({1.0, 5.0}));    // first tooth
+  EXPECT_FALSE(comb.containsStrict({3.5, 5.0}));   // first gap
+  EXPECT_TRUE(comb.containsStrict({6.0, 5.0}));    // second tooth
+  EXPECT_TRUE(comb.containsStrict({3.5, 0.75}));   // the bar below the gap
+  // No self intersections.
+  for (std::size_t i = 0; i < comb.size(); ++i) {
+    for (std::size_t j = i + 1; j < comb.size(); ++j) {
+      if ((i + 1) % comb.size() == j || (j + 1) % comb.size() == i) continue;
+      EXPECT_FALSE(geom::segmentsCrossProperly(comb.edge(i), comb.edge(j)));
+    }
+  }
+}
+
+TEST(Shapes, CityBlocksLayout) {
+  const auto blocks = cityBlocks({0, 0}, 2, 3, 4.0, 3.0, 1.5);
+  EXPECT_EQ(blocks.size(), 6u);
+  // Blocks are pairwise disjoint.
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].boundingBox().intersects(blocks[j].boundingBox()));
+    }
+  }
+}
+
+TEST(Generator, PointsAvoidObstaclesWithClearance) {
+  ScenarioParams p;
+  p.width = p.height = 14.0;
+  p.seed = 2;
+  p.clearance = 0.2;
+  p.obstacles.push_back(rectangleObstacle({5, 5}, {9, 9}));
+  const auto sc = makeScenario(p);
+  ASSERT_GT(sc.points.size(), 100u);
+  for (const auto& pt : sc.points) {
+    EXPECT_FALSE(p.obstacles[0].contains(pt));
+    for (std::size_t e = 0; e < p.obstacles[0].size(); ++e) {
+      EXPECT_GE(geom::pointSegmentDistance(pt, p.obstacles[0].edge(e)), p.clearance);
+    }
+  }
+}
+
+TEST(Generator, ConnectedAndDuplicateFree) {
+  ScenarioParams p;
+  p.width = p.height = 12.0;
+  p.seed = 3;
+  p.obstacles.push_back(regularPolygonObstacle({6, 6}, 2.0, 5));
+  const auto sc = makeScenario(p);
+  std::set<std::pair<double, double>> seen;
+  for (const auto& pt : sc.points) EXPECT_TRUE(seen.insert({pt.x, pt.y}).second);
+  EXPECT_TRUE(delaunay::buildUnitDiskGraph(sc.points, p.radius).isConnected());
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  ScenarioParams p;
+  p.width = p.height = 10.0;
+  p.seed = 9;
+  const auto a = makeScenario(p);
+  const auto b = makeScenario(p);
+  EXPECT_EQ(a.points, b.points);
+  p.seed = 10;
+  const auto c = makeScenario(p);
+  EXPECT_NE(a.points, c.points);
+}
+
+TEST(Generator, ParamsForNodeCountLandsNearTarget) {
+  for (const std::size_t n : {300u, 1000u, 3000u}) {
+    const auto sc = makeScenario(paramsForNodeCount(n, 4));
+    EXPECT_GT(sc.points.size(), n * 7 / 10);
+    EXPECT_LT(sc.points.size(), n * 13 / 10);
+  }
+}
+
+TEST(Mobility, StepsStayLegal) {
+  ScenarioParams p;
+  p.width = p.height = 10.0;
+  p.seed = 6;
+  p.obstacles.push_back(rectangleObstacle({4, 4}, {6, 6}));
+  auto sc = makeScenario(p);
+  std::mt19937 rng(1);
+  for (int step = 0; step < 5; ++step) {
+    const int moved = stepMobility(sc.points, sc.obstacles, p.width, p.height, 0.2, rng);
+    EXPECT_GT(moved, 0);
+    for (const auto& pt : sc.points) {
+      EXPECT_FALSE(sc.obstacles[0].contains(pt));
+      EXPECT_GE(pt.x, 0.0);
+      EXPECT_LE(pt.x, p.width);
+      EXPECT_GE(pt.y, 0.0);
+      EXPECT_LE(pt.y, p.height);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybrid::scenario

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/serialize.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid::io {
+namespace {
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 8.0;
+  p.seed = 3;
+  p.obstacles.push_back(scenario::rectangleObstacle({3, 3}, {5, 5}));
+  p.obstacles.push_back(scenario::regularPolygonObstacle({1.5, 6.0}, 0.8, 5));
+  const auto sc = scenario::makeScenario(p);
+
+  std::stringstream ss;
+  writeScenario(ss, sc);
+  const auto back = readScenario(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->radius, sc.radius);
+  EXPECT_EQ(back->points, sc.points);  // exact: full-precision output
+  ASSERT_EQ(back->obstacles.size(), sc.obstacles.size());
+  for (std::size_t i = 0; i < sc.obstacles.size(); ++i) {
+    EXPECT_EQ(back->obstacles[i].vertices(), sc.obstacles[i].vertices());
+  }
+}
+
+TEST(Serialize, AcceptsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# a comment\n"
+      "scenario v1\n"
+      "\n"
+      "radius 2.5\n"
+      "points 2\n"
+      "0 0\n"
+      "# interleaved comment\n"
+      "1 1\n"
+      "obstacle 3\n"
+      "5 5\n6 5\n5 6\n");
+  const auto sc = readScenario(ss);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_DOUBLE_EQ(sc->radius, 2.5);
+  EXPECT_EQ(sc->points.size(), 2u);
+  EXPECT_EQ(sc->obstacles.size(), 1u);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  {
+    std::stringstream ss("not a scenario\n");
+    EXPECT_FALSE(readScenario(ss).has_value());
+  }
+  {
+    std::stringstream ss("scenario v1\npoints 3\n0 0\n1 1\n");  // truncated
+    EXPECT_FALSE(readScenario(ss).has_value());
+  }
+  {
+    std::stringstream ss("scenario v1\nradius -1\npoints 1\n0 0\n");
+    EXPECT_FALSE(readScenario(ss).has_value());
+  }
+  {
+    std::stringstream ss("scenario v1\npoints 1\n0 0\nobstacle 2\n0 0\n1 1\n");
+    EXPECT_FALSE(readScenario(ss).has_value());  // obstacle needs >= 3 vertices
+  }
+  {
+    std::stringstream ss("scenario v1\nbogus 1\n");
+    EXPECT_FALSE(readScenario(ss).has_value());
+  }
+  EXPECT_FALSE(loadScenario("/no/such/file.scn").has_value());
+}
+
+}  // namespace
+}  // namespace hybrid::io

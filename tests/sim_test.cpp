@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "delaunay/udg.hpp"
+#include "sim/simulator.hpp"
+
+namespace hybrid::sim {
+namespace {
+
+graph::GeometricGraph lineGraph(int n) {
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < n; ++i) pts.push_back({static_cast<double>(i) * 0.9, 0.0});
+  return delaunay::buildUnitDiskGraph(pts, 1.0);
+}
+
+// Floods a token down the line; node i learns it in round i.
+class FloodProtocol : public Protocol {
+ public:
+  explicit FloodProtocol(int n) : arrival(static_cast<std::size_t>(n), -1) {}
+
+  void onStart(Context& ctx) override {
+    if (ctx.self() != 0) return;
+    arrival[0] = 0;
+    Message m;
+    m.type = 1;
+    ctx.sendAdHoc(1, std::move(m));
+  }
+  void onMessage(Context& ctx, const Message& m) override {
+    auto& a = arrival[static_cast<std::size_t>(ctx.self())];
+    if (a >= 0) return;
+    a = ctx.round();
+    if (ctx.self() + 1 < static_cast<int>(arrival.size())) {
+      Message fwd;
+      fwd.type = m.type;
+      ctx.sendAdHoc(ctx.self() + 1, std::move(fwd));
+    }
+  }
+
+  std::vector<int> arrival;
+};
+
+TEST(Simulator, SynchronousRoundSemantics) {
+  const auto g = lineGraph(6);
+  Simulator sim(g);
+  FloodProtocol proto(6);
+  const int rounds = sim.run(proto);
+  // A message sent in round i arrives at the beginning of round i+1.
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(proto.arrival[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(rounds, 5);
+}
+
+TEST(Simulator, StatsCountMessagesAndWords) {
+  const auto g = lineGraph(3);
+  Simulator sim(g);
+  class P : public Protocol {
+   public:
+    void onStart(Context& ctx) override {
+      if (ctx.self() != 0) return;
+      Message m;
+      m.ints = {1, 2, 3};
+      m.reals = {0.5};
+      ctx.sendAdHoc(1, std::move(m));
+    }
+    void onMessage(Context&, const Message&) override {}
+  } p;
+  sim.run(p);
+  EXPECT_EQ(sim.stats()[0].sentAdHoc, 1);
+  EXPECT_EQ(sim.stats()[0].sentLongRange, 0);
+  EXPECT_EQ(sim.stats()[0].sentWords, 5L);  // 3 ints + 1 real + header
+  EXPECT_EQ(sim.stats()[1].receivedWords, 5L);
+  EXPECT_EQ(sim.totalMessages(), 1L);
+  sim.resetStats();
+  EXPECT_EQ(sim.totalMessages(), 0L);
+}
+
+TEST(Simulator, KnowledgeStartsWithUdgNeighbors) {
+  const auto g = lineGraph(4);
+  const Simulator sim(g);
+  EXPECT_TRUE(sim.knows(1, 0));
+  EXPECT_TRUE(sim.knows(1, 2));
+  EXPECT_FALSE(sim.knows(1, 3));
+  EXPECT_TRUE(sim.knows(2, 2));  // every node knows itself
+}
+
+TEST(Simulator, IdIntroductionGrowsKnowledge) {
+  const auto g = lineGraph(4);
+  Simulator sim(g);
+  class P : public Protocol {
+   public:
+    void onStart(Context& ctx) override {
+      if (ctx.self() != 2) return;
+      // Node 2 introduces its neighbor 3 to its neighbor 1.
+      Message m;
+      m.ids = {3};
+      ctx.sendAdHoc(1, std::move(m));
+    }
+    void onMessage(Context& ctx, const Message&) override {
+      if (ctx.self() == 1) {
+        EXPECT_TRUE(ctx.knows(3));
+        Message hello;
+        hello.type = 42;
+        ctx.sendLongRange(3, std::move(hello));
+      } else if (ctx.self() == 3) {
+        heard = true;
+      }
+    }
+    bool heard = false;
+  } p;
+  sim.run(p);
+  EXPECT_TRUE(p.heard);
+  EXPECT_TRUE(sim.knows(1, 3));
+  EXPECT_EQ(sim.stats()[1].sentLongRange, 1);
+}
+
+TEST(Simulator, MaxRoundsCapsRunawayProtocols) {
+  const auto g = lineGraph(2);
+  Simulator sim(g);
+  class PingPong : public Protocol {
+   public:
+    void onStart(Context& ctx) override {
+      if (ctx.self() == 0) ctx.sendAdHoc(1, Message{});
+    }
+    void onMessage(Context& ctx, const Message& m) override {
+      ctx.sendAdHoc(m.from, Message{});
+    }
+  } p;
+  EXPECT_EQ(sim.run(p, 50), 50);
+}
+
+TEST(Simulator, WantsMoreRoundsKeepsEmptyQueueAlive) {
+  const auto g = lineGraph(2);
+  Simulator sim(g);
+  class Waiter : public Protocol {
+   public:
+    void onStart(Context&) override {}
+    void onMessage(Context&, const Message&) override {}
+    void onRoundEnd(Context& ctx) override {
+      if (ctx.self() == 0) rounds = ctx.round();
+    }
+    bool wantsMoreRounds() const override { return rounds < 7; }
+    int rounds = 0;
+  } p;
+  EXPECT_EQ(sim.run(p), 7);
+}
+
+TEST(Simulator, DeterministicDeliveryOrder) {
+  // Messages to the same node from several senders arrive sorted by
+  // sender id, making protocol runs reproducible.
+  const auto g = delaunay::buildUnitDiskGraph(
+      {{0.0, 0.0}, {0.5, 0.5}, {0.5, -0.5}, {-0.5, 0.5}}, 2.0);
+  Simulator sim(g);
+  class P : public Protocol {
+   public:
+    void onStart(Context& ctx) override {
+      if (ctx.self() != 0) ctx.sendAdHoc(0, Message{});
+    }
+    void onMessage(Context& ctx, const Message& m) override {
+      if (ctx.self() == 0) order.push_back(m.from);
+    }
+    std::vector<int> order;
+  } p;
+  sim.run(p);
+  EXPECT_EQ(p.order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hybrid::sim

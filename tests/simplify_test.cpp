@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/segment.hpp"
+#include "geom/simplify.hpp"
+
+namespace hybrid::geom {
+namespace {
+
+TEST(DouglasPeucker, KeepsEndpointsAndSalientVertices) {
+  // A spike in an otherwise straight line must survive a small tolerance.
+  const std::vector<Vec2> line{{0, 0}, {1, 0.01}, {2, 0}, {3, 2.0}, {4, 0}, {5, -0.01},
+                               {6, 0}};
+  const auto kept = douglasPeucker(line, 0.1);
+  EXPECT_EQ(kept.front(), 0);
+  EXPECT_EQ(kept.back(), 6);
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 3), kept.end());  // the spike
+  EXPECT_LT(kept.size(), line.size());
+}
+
+TEST(DouglasPeucker, ZeroToleranceKeepsNonCollinear) {
+  const std::vector<Vec2> zig{{0, 0}, {1, 1}, {2, 0}, {3, 1}};
+  const auto kept = douglasPeucker(zig, 0.0);
+  EXPECT_EQ(kept.size(), zig.size());
+}
+
+TEST(DouglasPeucker, LargeToleranceKeepsOnlyEndpoints) {
+  std::vector<Vec2> wiggly;
+  for (int i = 0; i <= 20; ++i) {
+    wiggly.push_back({static_cast<double>(i), (i % 2 == 0) ? 0.0 : 0.05});
+  }
+  const auto kept = douglasPeucker(wiggly, 1.0);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(DouglasPeucker, ErrorIsBounded) {
+  // Property: every dropped point lies within epsilon of the simplified
+  // polyline.
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 60; ++i) {
+    pts.push_back({static_cast<double>(i) * 0.5, 2.0 * std::sin(i * 0.3) + 0.2 * d(rng)});
+  }
+  const double eps = 0.4;
+  const auto kept = douglasPeucker(pts, eps);
+  for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+    double best = 1e18;
+    for (std::size_t k = 0; k + 1 < kept.size(); ++k) {
+      const Segment seg{pts[static_cast<std::size_t>(kept[k])],
+                        pts[static_cast<std::size_t>(kept[k + 1])]};
+      best = std::min(best, pointSegmentDistance(pts[static_cast<std::size_t>(i)], seg));
+    }
+    EXPECT_LE(best, eps + 1e-9) << "point " << i;
+  }
+}
+
+TEST(DouglasPeuckerRing, SimplifiesClosedRings) {
+  // A circle sampled densely: tolerance keeps a sparse, ordered subset.
+  std::vector<Vec2> circle;
+  for (int i = 0; i < 100; ++i) {
+    const double a = 2.0 * 3.141592653589793 * i / 100.0;
+    circle.push_back({10.0 * std::cos(a), 10.0 * std::sin(a)});
+  }
+  const auto kept = douglasPeuckerRing(circle, 0.5);
+  EXPECT_GE(kept.size(), 6u);
+  EXPECT_LT(kept.size(), 40u);
+  // Indices are a valid ring order: strictly increasing after rotation.
+  for (std::size_t i = 0; i + 1 < kept.size(); ++i) {
+    EXPECT_NE(kept[i], kept[i + 1]);
+  }
+}
+
+TEST(DouglasPeuckerRing, TinyRingsUntouched) {
+  const std::vector<Vec2> tri{{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_EQ(douglasPeuckerRing(tri, 10.0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace hybrid::geom

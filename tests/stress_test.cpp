@@ -1,0 +1,53 @@
+// Larger-scale smoke: the full pipeline at ~20k nodes must build in
+// seconds, stay planar, and route reliably. Catches accidental quadratic
+// blowups that small tests miss.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+
+#include "core/hybrid_network.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+TEST(Stress, TwentyThousandNodes) {
+  auto params = scenario::paramsForNodeCount(20000, 777);
+  const double side = params.width;
+  params.obstacles.push_back(
+      scenario::regularPolygonObstacle({0.3 * side, 0.3 * side}, 0.08 * side, 6));
+  params.obstacles.push_back(scenario::rectangleObstacle(
+      {0.55 * side, 0.55 * side}, {0.75 * side, 0.7 * side}));
+  params.obstacles.push_back(
+      scenario::regularPolygonObstacle({0.7 * side, 0.25 * side}, 0.07 * side, 8));
+  const auto sc = scenario::makeScenario(params);
+  ASSERT_GT(sc.points.size(), 15000u);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  core::HybridNetwork net(sc.points);
+  const auto buildMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  // Keep construction comfortably sub-minute even on slow CI machines.
+  EXPECT_LT(buildMs, 60000) << "construction took " << buildMs << " ms";
+  EXPECT_EQ(net.ldelResult().removedCrossings, 0);
+
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
+  int fallbacks = 0;
+  for (int it = 0; it < 40; ++it) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    const auto r = net.route(s, t);
+    ASSERT_TRUE(r.delivered);
+    EXPECT_LT(net.stretch(r, s, t), 36.0);
+    fallbacks += r.fallbacks;
+  }
+  EXPECT_LE(fallbacks, 4);
+}
+
+}  // namespace
+}  // namespace hybrid

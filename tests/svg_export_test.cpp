@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/svg_export.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid::io {
+namespace {
+
+TEST(SvgExport, WritesWellFormedDocument) {
+  scenario::ScenarioParams p;
+  p.width = p.height = 10.0;
+  p.seed = 12;
+  p.obstacles.push_back(scenario::regularPolygonObstacle({5, 5}, 1.8, 6));
+  const auto sc = scenario::makeScenario(p);
+  core::HybridNetwork net(sc.points);
+
+  const auto route = net.route(0, static_cast<int>(sc.points.size()) - 1);
+  SvgExporter svg(net);
+  svg.drawObstacles(sc.obstacles)
+      .drawNetwork()
+      .drawHoles()
+      .drawAbstractions()
+      .drawRoute(route, "#2c8a4b");
+
+  const std::string path = ::testing::TempDir() + "svg_export_test.svg";
+  ASSERT_TRUE(svg.save(path));
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  // One circle per node plus hull markers and route endpoints.
+  std::size_t circles = 0;
+  for (std::size_t pos = 0; (pos = doc.find("<circle", pos)) != std::string::npos; ++pos) {
+    ++circles;
+  }
+  EXPECT_GE(circles, net.ldel().numNodes());
+  // Edges as polylines, holes/hulls/obstacles as polygons.
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgExport, FailsOnUnwritablePath) {
+  const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(100, 1));
+  core::HybridNetwork net(sc.points);
+  SvgExporter svg(net);
+  EXPECT_FALSE(svg.save("/nonexistent-dir/x.svg"));
+}
+
+}  // namespace
+}  // namespace hybrid::io

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+
+#include "util/parallel.hpp"
+
+namespace hybrid::util {
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallelChunks(n, 4, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, ChunkOrderIsDeterministic) {
+  // Collect (chunkIndex, begin, end) and verify chunks are contiguous,
+  // ordered and disjoint.
+  std::mutex m;
+  std::vector<std::array<std::size_t, 3>> chunks;
+  parallelChunks(5000, 3, [&](std::size_t b, std::size_t e, unsigned c) {
+    const std::lock_guard<std::mutex> lock(m);
+    chunks.push_back({static_cast<std::size_t>(c), b, e});
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expectBegin = 0;
+  for (const auto& [c, b, e] : chunks) {
+    EXPECT_EQ(b, expectBegin);
+    EXPECT_GT(e, b);
+    expectBegin = e;
+  }
+  EXPECT_EQ(expectBegin, 5000u);
+}
+
+TEST(Parallel, SmallInputsRunInline) {
+  // Below the threshold a single chunk with index 0 runs.
+  int calls = 0;
+  parallelChunks(100, 8, [&](std::size_t b, std::size_t e, unsigned c) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+    EXPECT_EQ(c, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, ZeroElements) {
+  int calls = 0;
+  parallelChunks(0, 4, [&](std::size_t b, std::size_t e, unsigned) {
+    ++calls;
+    EXPECT_EQ(b, e);
+  });
+  EXPECT_EQ(calls, 1);  // one empty inline call
+}
+
+TEST(Parallel, ResolveThreads) {
+  EXPECT_EQ(resolveThreads(3), 3u);
+  EXPECT_GE(resolveThreads(0), 1u);
+  EXPECT_GE(resolveThreads(-1), 1u);
+}
+
+}  // namespace
+}  // namespace hybrid::util
