@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e0_claims_check.dir/e0_claims_check.cpp.o"
+  "CMakeFiles/e0_claims_check.dir/e0_claims_check.cpp.o.d"
+  "e0_claims_check"
+  "e0_claims_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e0_claims_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_spanner_chew.dir/e10_spanner_chew.cpp.o"
+  "CMakeFiles/e10_spanner_chew.dir/e10_spanner_chew.cpp.o.d"
+  "e10_spanner_chew"
+  "e10_spanner_chew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_spanner_chew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

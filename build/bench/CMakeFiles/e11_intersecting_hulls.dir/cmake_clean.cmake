@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_intersecting_hulls.dir/e11_intersecting_hulls.cpp.o"
+  "CMakeFiles/e11_intersecting_hulls.dir/e11_intersecting_hulls.cpp.o.d"
+  "e11_intersecting_hulls"
+  "e11_intersecting_hulls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_intersecting_hulls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e11_intersecting_hulls.
+# This may be replaced when dependencies are built.

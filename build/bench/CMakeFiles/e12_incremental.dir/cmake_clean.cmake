@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_incremental.dir/e12_incremental.cpp.o"
+  "CMakeFiles/e12_incremental.dir/e12_incremental.cpp.o.d"
+  "e12_incremental"
+  "e12_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

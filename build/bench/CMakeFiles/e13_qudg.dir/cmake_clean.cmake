@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_qudg.dir/e13_qudg.cpp.o"
+  "CMakeFiles/e13_qudg.dir/e13_qudg.cpp.o.d"
+  "e13_qudg"
+  "e13_qudg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_qudg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

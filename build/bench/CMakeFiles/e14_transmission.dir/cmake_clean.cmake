@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_transmission.dir/e14_transmission.cpp.o"
+  "CMakeFiles/e14_transmission.dir/e14_transmission.cpp.o.d"
+  "e14_transmission"
+  "e14_transmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_server_comparison.dir/e15_server_comparison.cpp.o"
+  "CMakeFiles/e15_server_comparison.dir/e15_server_comparison.cpp.o.d"
+  "e15_server_comparison"
+  "e15_server_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_server_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

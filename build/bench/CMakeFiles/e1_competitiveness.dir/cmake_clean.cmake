@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_competitiveness.dir/e1_competitiveness.cpp.o"
+  "CMakeFiles/e1_competitiveness.dir/e1_competitiveness.cpp.o.d"
+  "e1_competitiveness"
+  "e1_competitiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_competitiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_worstcase_maze.dir/e2_worstcase_maze.cpp.o"
+  "CMakeFiles/e2_worstcase_maze.dir/e2_worstcase_maze.cpp.o.d"
+  "e2_worstcase_maze"
+  "e2_worstcase_maze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_worstcase_maze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

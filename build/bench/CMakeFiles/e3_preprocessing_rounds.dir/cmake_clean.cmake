@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_preprocessing_rounds.dir/e3_preprocessing_rounds.cpp.o"
+  "CMakeFiles/e3_preprocessing_rounds.dir/e3_preprocessing_rounds.cpp.o.d"
+  "e3_preprocessing_rounds"
+  "e3_preprocessing_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_preprocessing_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_storage.dir/e4_storage.cpp.o"
+  "CMakeFiles/e4_storage.dir/e4_storage.cpp.o.d"
+  "e4_storage"
+  "e4_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

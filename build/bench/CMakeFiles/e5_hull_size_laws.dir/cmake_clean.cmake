@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_hull_size_laws.dir/e5_hull_size_laws.cpp.o"
+  "CMakeFiles/e5_hull_size_laws.dir/e5_hull_size_laws.cpp.o.d"
+  "e5_hull_size_laws"
+  "e5_hull_size_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_hull_size_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

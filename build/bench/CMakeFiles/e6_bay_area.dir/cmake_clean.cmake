@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_bay_area.dir/e6_bay_area.cpp.o"
+  "CMakeFiles/e6_bay_area.dir/e6_bay_area.cpp.o.d"
+  "e6_bay_area"
+  "e6_bay_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_bay_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e6_bay_area.
+# This may be replaced when dependencies are built.

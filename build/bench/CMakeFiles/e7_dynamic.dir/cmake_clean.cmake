@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_dynamic.dir/e7_dynamic.cpp.o"
+  "CMakeFiles/e7_dynamic.dir/e7_dynamic.cpp.o.d"
+  "e7_dynamic"
+  "e7_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

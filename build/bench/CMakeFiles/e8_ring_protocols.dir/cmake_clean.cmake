@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_ring_protocols.dir/e8_ring_protocols.cpp.o"
+  "CMakeFiles/e8_ring_protocols.dir/e8_ring_protocols.cpp.o.d"
+  "e8_ring_protocols"
+  "e8_ring_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_ring_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_dominating_set.dir/e9_dominating_set.cpp.o"
+  "CMakeFiles/e9_dominating_set.dir/e9_dominating_set.cpp.o.d"
+  "e9_dominating_set"
+  "e9_dominating_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_dominating_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

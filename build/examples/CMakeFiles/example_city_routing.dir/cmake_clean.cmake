@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_city_routing.dir/city_routing.cpp.o"
+  "CMakeFiles/example_city_routing.dir/city_routing.cpp.o.d"
+  "example_city_routing"
+  "example_city_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_city_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

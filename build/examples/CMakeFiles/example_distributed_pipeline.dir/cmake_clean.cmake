@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_pipeline.dir/distributed_pipeline.cpp.o"
+  "CMakeFiles/example_distributed_pipeline.dir/distributed_pipeline.cpp.o.d"
+  "example_distributed_pipeline"
+  "example_distributed_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_mobility.dir/dynamic_mobility.cpp.o"
+  "CMakeFiles/example_dynamic_mobility.dir/dynamic_mobility.cpp.o.d"
+  "example_dynamic_mobility"
+  "example_dynamic_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_maze_escape.dir/maze_escape.cpp.o"
+  "CMakeFiles/example_maze_escape.dir/maze_escape.cpp.o.d"
+  "example_maze_escape"
+  "example_maze_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_maze_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

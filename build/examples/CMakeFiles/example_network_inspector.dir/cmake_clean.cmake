@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_inspector.dir/network_inspector.cpp.o"
+  "CMakeFiles/example_network_inspector.dir/network_inspector.cpp.o.d"
+  "example_network_inspector"
+  "example_network_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abstraction/dominating_set.cpp" "src/CMakeFiles/hybridrouting.dir/abstraction/dominating_set.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/abstraction/dominating_set.cpp.o.d"
+  "/root/repo/src/abstraction/hole_abstraction.cpp" "src/CMakeFiles/hybridrouting.dir/abstraction/hole_abstraction.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/abstraction/hole_abstraction.cpp.o.d"
+  "/root/repo/src/abstraction/hull_groups.cpp" "src/CMakeFiles/hybridrouting.dir/abstraction/hull_groups.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/abstraction/hull_groups.cpp.o.d"
+  "/root/repo/src/core/hybrid_network.cpp" "src/CMakeFiles/hybridrouting.dir/core/hybrid_network.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/core/hybrid_network.cpp.o.d"
+  "/root/repo/src/delaunay/ldel.cpp" "src/CMakeFiles/hybridrouting.dir/delaunay/ldel.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/delaunay/ldel.cpp.o.d"
+  "/root/repo/src/delaunay/triangulation.cpp" "src/CMakeFiles/hybridrouting.dir/delaunay/triangulation.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/delaunay/triangulation.cpp.o.d"
+  "/root/repo/src/delaunay/udg.cpp" "src/CMakeFiles/hybridrouting.dir/delaunay/udg.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/delaunay/udg.cpp.o.d"
+  "/root/repo/src/geom/angle.cpp" "src/CMakeFiles/hybridrouting.dir/geom/angle.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/geom/angle.cpp.o.d"
+  "/root/repo/src/geom/circle.cpp" "src/CMakeFiles/hybridrouting.dir/geom/circle.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/geom/circle.cpp.o.d"
+  "/root/repo/src/geom/expansion.cpp" "src/CMakeFiles/hybridrouting.dir/geom/expansion.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/geom/expansion.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/CMakeFiles/hybridrouting.dir/geom/polygon.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/geom/polygon.cpp.o.d"
+  "/root/repo/src/geom/predicates.cpp" "src/CMakeFiles/hybridrouting.dir/geom/predicates.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/geom/predicates.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/CMakeFiles/hybridrouting.dir/geom/segment.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/geom/segment.cpp.o.d"
+  "/root/repo/src/geom/simplify.cpp" "src/CMakeFiles/hybridrouting.dir/geom/simplify.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/geom/simplify.cpp.o.d"
+  "/root/repo/src/geom/visibility.cpp" "src/CMakeFiles/hybridrouting.dir/geom/visibility.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/geom/visibility.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/hybridrouting.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/planar_faces.cpp" "src/CMakeFiles/hybridrouting.dir/graph/planar_faces.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/graph/planar_faces.cpp.o.d"
+  "/root/repo/src/graph/rotation.cpp" "src/CMakeFiles/hybridrouting.dir/graph/rotation.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/graph/rotation.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/CMakeFiles/hybridrouting.dir/graph/shortest_path.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/graph/shortest_path.cpp.o.d"
+  "/root/repo/src/holes/hole_detection.cpp" "src/CMakeFiles/hybridrouting.dir/holes/hole_detection.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/holes/hole_detection.cpp.o.d"
+  "/root/repo/src/io/animation.cpp" "src/CMakeFiles/hybridrouting.dir/io/animation.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/io/animation.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/hybridrouting.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/io/svg_export.cpp" "src/CMakeFiles/hybridrouting.dir/io/svg_export.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/io/svg_export.cpp.o.d"
+  "/root/repo/src/protocols/bitonic_sort.cpp" "src/CMakeFiles/hybridrouting.dir/protocols/bitonic_sort.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/protocols/bitonic_sort.cpp.o.d"
+  "/root/repo/src/protocols/dominating_set_protocol.cpp" "src/CMakeFiles/hybridrouting.dir/protocols/dominating_set_protocol.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/protocols/dominating_set_protocol.cpp.o.d"
+  "/root/repo/src/protocols/incremental.cpp" "src/CMakeFiles/hybridrouting.dir/protocols/incremental.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/protocols/incremental.cpp.o.d"
+  "/root/repo/src/protocols/ldel_protocol.cpp" "src/CMakeFiles/hybridrouting.dir/protocols/ldel_protocol.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/protocols/ldel_protocol.cpp.o.d"
+  "/root/repo/src/protocols/overlay_tree.cpp" "src/CMakeFiles/hybridrouting.dir/protocols/overlay_tree.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/protocols/overlay_tree.cpp.o.d"
+  "/root/repo/src/protocols/preprocessing.cpp" "src/CMakeFiles/hybridrouting.dir/protocols/preprocessing.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/protocols/preprocessing.cpp.o.d"
+  "/root/repo/src/protocols/ring_pipeline.cpp" "src/CMakeFiles/hybridrouting.dir/protocols/ring_pipeline.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/protocols/ring_pipeline.cpp.o.d"
+  "/root/repo/src/protocols/routing_sim.cpp" "src/CMakeFiles/hybridrouting.dir/protocols/routing_sim.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/protocols/routing_sim.cpp.o.d"
+  "/root/repo/src/routing/baselines.cpp" "src/CMakeFiles/hybridrouting.dir/routing/baselines.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/routing/baselines.cpp.o.d"
+  "/root/repo/src/routing/chew.cpp" "src/CMakeFiles/hybridrouting.dir/routing/chew.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/routing/chew.cpp.o.d"
+  "/root/repo/src/routing/goafr.cpp" "src/CMakeFiles/hybridrouting.dir/routing/goafr.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/routing/goafr.cpp.o.d"
+  "/root/repo/src/routing/hybrid_router.cpp" "src/CMakeFiles/hybridrouting.dir/routing/hybrid_router.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/routing/hybrid_router.cpp.o.d"
+  "/root/repo/src/routing/overlay_graph.cpp" "src/CMakeFiles/hybridrouting.dir/routing/overlay_graph.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/routing/overlay_graph.cpp.o.d"
+  "/root/repo/src/routing/server_oracle.cpp" "src/CMakeFiles/hybridrouting.dir/routing/server_oracle.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/routing/server_oracle.cpp.o.d"
+  "/root/repo/src/routing/subdivision.cpp" "src/CMakeFiles/hybridrouting.dir/routing/subdivision.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/routing/subdivision.cpp.o.d"
+  "/root/repo/src/scenario/generator.cpp" "src/CMakeFiles/hybridrouting.dir/scenario/generator.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/scenario/generator.cpp.o.d"
+  "/root/repo/src/scenario/shapes.cpp" "src/CMakeFiles/hybridrouting.dir/scenario/shapes.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/scenario/shapes.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/hybridrouting.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/spatial/grid_index.cpp" "src/CMakeFiles/hybridrouting.dir/spatial/grid_index.cpp.o" "gcc" "src/CMakeFiles/hybridrouting.dir/spatial/grid_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for hybridrouting.
+# This may be replaced when dependencies are built.

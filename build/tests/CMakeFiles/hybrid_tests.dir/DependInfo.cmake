@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/animation_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/animation_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/animation_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/chew_subdivision_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/chew_subdivision_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/chew_subdivision_test.cpp.o.d"
+  "/root/repo/tests/core_api_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/core_api_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/core_api_test.cpp.o.d"
+  "/root/repo/tests/delaunay_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/delaunay_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/delaunay_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/expansion_fuzz_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/expansion_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/expansion_fuzz_test.cpp.o.d"
+  "/root/repo/tests/geom_circle_angle_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/geom_circle_angle_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/geom_circle_angle_test.cpp.o.d"
+  "/root/repo/tests/geom_polygon_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/geom_polygon_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/geom_polygon_test.cpp.o.d"
+  "/root/repo/tests/geom_predicates_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/geom_predicates_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/geom_predicates_test.cpp.o.d"
+  "/root/repo/tests/geom_segment_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/geom_segment_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/geom_segment_test.cpp.o.d"
+  "/root/repo/tests/goafr_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/goafr_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/goafr_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/holes_abstraction_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/holes_abstraction_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/holes_abstraction_test.cpp.o.d"
+  "/root/repo/tests/hull_groups_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/hull_groups_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/hull_groups_test.cpp.o.d"
+  "/root/repo/tests/incremental_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/incremental_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/incremental_test.cpp.o.d"
+  "/root/repo/tests/ldel_protocol_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/ldel_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/ldel_protocol_test.cpp.o.d"
+  "/root/repo/tests/overlay_graph_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/overlay_graph_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/overlay_graph_test.cpp.o.d"
+  "/root/repo/tests/paper_bounds_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/paper_bounds_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/paper_bounds_test.cpp.o.d"
+  "/root/repo/tests/path_pruning_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/path_pruning_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/path_pruning_test.cpp.o.d"
+  "/root/repo/tests/pipeline_fuzz_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/pipeline_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/pipeline_fuzz_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/predicates_crossvalidation_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/predicates_crossvalidation_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/predicates_crossvalidation_test.cpp.o.d"
+  "/root/repo/tests/protocol_cases_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/protocol_cases_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/protocol_cases_test.cpp.o.d"
+  "/root/repo/tests/protocols_extra_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/protocols_extra_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/protocols_extra_test.cpp.o.d"
+  "/root/repo/tests/protocols_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/protocols_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/protocols_test.cpp.o.d"
+  "/root/repo/tests/routing_sim_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/routing_sim_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/routing_sim_test.cpp.o.d"
+  "/root/repo/tests/routing_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/routing_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/routing_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/simplify_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/simplify_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/simplify_test.cpp.o.d"
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/svg_export_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/svg_export_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/svg_export_test.cpp.o.d"
+  "/root/repo/tests/util_parallel_test.cpp" "tests/CMakeFiles/hybrid_tests.dir/util_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/hybrid_tests.dir/util_parallel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hybridrouting.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
