@@ -204,8 +204,12 @@ class DsProtocol : public sim::Protocol {
 
 DominatingSetProtocol::DominatingSetProtocol(sim::Simulator& simulator,
                                              std::vector<std::vector<int>> chains,
-                                             unsigned seed)
+                                             unsigned seed, const RetryPolicy* retry)
     : sim_(simulator), chains_(std::move(chains)), seed_(seed) {
+  if (retry != nullptr) {
+    withRetry_ = true;
+    policy_ = *retry;
+  }
   // Chain neighbors are ring neighbors, known from the boundary structure.
   for (const auto& chain : chains_) {
     for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
@@ -215,7 +219,7 @@ DominatingSetProtocol::DominatingSetProtocol(sim::Simulator& simulator,
   }
 }
 
-int DominatingSetProtocol::run() {
+int DominatingSetProtocol::run(int maxRounds) {
   std::vector<DsState> st(sim_.numNodes());
   for (std::size_t c = 0; c < chains_.size(); ++c) {
     const auto& chain = chains_[c];
@@ -229,7 +233,14 @@ int DominatingSetProtocol::run() {
     }
   }
   DsProtocol proto(st, seed_);
-  const int rounds = sim_.run(proto);
+  int rounds = 0;
+  if (withRetry_) {
+    ReliableProtocol reliable(sim_, proto, policy_);
+    rounds = sim_.run(reliable, maxRounds);
+    reliableStats_ = reliable.stats();
+  } else {
+    rounds = sim_.run(proto, maxRounds);
+  }
 
   result_.assign(chains_.size(), {});
   for (std::size_t c = 0; c < chains_.size(); ++c) {

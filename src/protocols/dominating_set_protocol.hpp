@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "protocols/reliable.hpp"
 #include "sim/simulator.hpp"
 
 namespace hybrid::protocols {
@@ -17,11 +18,20 @@ namespace hybrid::protocols {
 class DominatingSetProtocol {
  public:
   /// `chains`: node-id paths (each node appears in at most one chain).
+  /// With `retry` set, the run is wrapped in the ReliableProtocol ARQ so
+  /// it converges on a lossy fault-injected simulator. Coverage is
+  /// monotone and spans are recomputed every super-round, so delayed
+  /// deliveries only slow convergence, never corrupt the result.
   DominatingSetProtocol(sim::Simulator& simulator, std::vector<std::vector<int>> chains,
-                        unsigned seed = 1);
+                        unsigned seed = 1, const RetryPolicy* retry = nullptr);
 
-  /// Runs the protocol; returns rounds used.
-  int run();
+  /// Runs the protocol; returns rounds used. `maxRounds` bounds the run
+  /// against the (vanishingly unlikely) case that abandoned transfers
+  /// leave a node waiting forever.
+  int run(int maxRounds = 1 << 16);
+
+  /// Transport counters of the last run (all zero without retry).
+  const ReliableStats& reliableStats() const { return reliableStats_; }
 
   /// Members of the dominating set of chain `c` after run().
   const std::vector<int>& dominatingSet(std::size_t c) const { return result_[c]; }
@@ -32,6 +42,9 @@ class DominatingSetProtocol {
   std::vector<std::vector<int>> chains_;
   std::vector<std::vector<int>> result_;
   unsigned seed_;
+  bool withRetry_ = false;
+  RetryPolicy policy_;
+  ReliableStats reliableStats_;
 };
 
 }  // namespace hybrid::protocols

@@ -6,6 +6,7 @@
 
 #include "geom/angle.hpp"
 #include "geom/predicates.hpp"
+#include "protocols/reliable.hpp"
 
 namespace hybrid::protocols {
 
@@ -19,9 +20,17 @@ struct NodeState {
   // 2-hop knowledge: id -> position.
   std::map<int, geom::Vec2> known;
   std::vector<int> neighbors;  // 1-hop ids
+  // Event-driven phase tracking: a node advances when it heard from all
+  // of its neighbors, not on a fixed round number, so the protocol also
+  // completes on lossy channels (with the reliable transport underneath).
+  std::set<int> helloFrom;
+  std::set<int> listFrom;
+  int phase = 0;  // 0: collecting hellos, 1: collecting lists, 2: done
   // Triangles this node proposes / confirms, as sorted corner triples.
   std::set<std::array<int, 3>> proposed;
-  std::map<std::array<int, 3>, int> confirmations;
+  // Corners that confirmed each triangle (set-based: idempotent under
+  // duplicated delivery).
+  std::map<std::array<int, 3>, std::set<int>> confirmations;
   std::vector<std::pair<int, int>> gabriel;  // (self, nb) Gabriel edges
 };
 
@@ -46,12 +55,14 @@ class LdelProtocol : public sim::Protocol {
     switch (m.type) {
       case kHello:
         s.known[m.from] = {m.reals[0], m.reals[1]};
+        s.helloFrom.insert(m.from);
         break;
       case kNeighbors: {
         const std::size_t k = m.ids.size();
         for (std::size_t i = 0; i < k; ++i) {
           s.known.emplace(m.ids[i], geom::Vec2{m.reals[i], m.reals[k + i]});
         }
+        s.listFrom.insert(m.from);
         break;
       }
       case kProposals: {
@@ -59,7 +70,7 @@ class LdelProtocol : public sim::Protocol {
           std::array<int, 3> tri{m.from, static_cast<int>(m.ints[i]),
                                  static_cast<int>(m.ints[i + 1])};
           std::sort(tri.begin(), tri.end());
-          ++s.confirmations[tri];
+          s.confirmations[tri].insert(m.from);
         }
         break;
       }
@@ -70,7 +81,7 @@ class LdelProtocol : public sim::Protocol {
 
   void onRoundEnd(sim::Context& ctx) override {
     NodeState& s = st_[static_cast<std::size_t>(ctx.self())];
-    if (ctx.round() == 1) {
+    if (s.phase == 0 && s.helloFrom.size() == s.neighbors.size()) {
       // Forward the freshly learned neighbor list (ids + coordinates).
       sim::Message m;
       m.type = kNeighbors;
@@ -80,7 +91,9 @@ class LdelProtocol : public sim::Protocol {
       }
       for (int nb : s.neighbors) m.reals.push_back(s.known.at(nb).y);
       for (int nb : s.neighbors) ctx.sendAdHoc(nb, m);
-    } else if (ctx.round() == 2) {
+      s.phase = 1;
+    }
+    if (s.phase == 1 && s.listFrom.size() == s.neighbors.size()) {
       computeLocalProposals(ctx, s);
       // Send each neighbor the proposals that involve it.
       for (int nb : s.neighbors) {
@@ -98,6 +111,7 @@ class LdelProtocol : public sim::Protocol {
         }
         if (!m.ints.empty()) ctx.sendAdHoc(nb, std::move(m));
       }
+      s.phase = 2;
     }
   }
 
@@ -129,7 +143,7 @@ class LdelProtocol : public sim::Protocol {
           std::array<int, 3> tri{self, v, w};
           std::sort(tri.begin(), tri.end());
           s.proposed.insert(tri);
-          ++s.confirmations[tri];  // own confirmation
+          s.confirmations[tri].insert(self);  // own confirmation
         }
       }
     }
@@ -155,11 +169,18 @@ class LdelProtocol : public sim::Protocol {
 
 }  // namespace
 
-DistributedLdel runLdelConstruction(sim::Simulator& simulator, double radius) {
+DistributedLdel runLdelConstruction(sim::Simulator& simulator, double radius,
+                                    const RetryPolicy* retry) {
   std::vector<NodeState> st(simulator.numNodes());
   LdelProtocol proto(st, radius);
   DistributedLdel out;
-  out.rounds = simulator.run(proto);
+  if (retry != nullptr) {
+    ReliableProtocol reliable(simulator, proto, *retry);
+    out.rounds = simulator.run(reliable);
+    out.retransmissions = reliable.stats().retransmissions;
+  } else {
+    out.rounds = simulator.run(proto);
+  }
   out.messages = simulator.totalMessages();
 
   out.graph = graph::GeometricGraph(simulator.udg().positions());
@@ -170,8 +191,8 @@ DistributedLdel runLdelConstruction(sim::Simulator& simulator, double radius) {
   // Triangles confirmed by all three corners.
   std::vector<std::set<std::array<int, 3>>> surviving(st.size());
   for (std::size_t v = 0; v < st.size(); ++v) {
-    for (const auto& [tri, count] : st[v].confirmations) {
-      if (count == 3 && st[v].proposed.contains(tri)) {
+    for (const auto& [tri, corners] : st[v].confirmations) {
+      if (corners.size() == 3 && st[v].proposed.contains(tri)) {
         surviving[v].insert(tri);
         out.graph.addEdge(tri[0], tri[1]);
         out.graph.addEdge(tri[0], tri[2]);

@@ -34,9 +34,18 @@ struct DistributedLdel {
   std::vector<std::vector<std::array<int, 2>>> gaps;
   int rounds = 0;
   long messages = 0;
+  long retransmissions = 0;  ///< Transport retries (0 without a RetryPolicy).
 };
 
-DistributedLdel runLdelConstruction(sim::Simulator& simulator, double radius = 1.0);
+struct RetryPolicy;
+
+/// Runs the construction on `simulator`. The protocol is event-driven (a
+/// node advances a phase when all of its neighbors' messages arrived, not
+/// on a fixed round schedule), so with `retry` set it completes correctly
+/// on a lossy fault-injected simulator and produces the exact fault-free
+/// output; without faults it takes the classic 3 rounds.
+DistributedLdel runLdelConstruction(sim::Simulator& simulator, double radius = 1.0,
+                                    const RetryPolicy* retry = nullptr);
 
 /// §5.4's "second run": given the outer boundary ring (turning angle
 /// -2*pi) and the convex hull its members computed, every pair of

@@ -14,7 +14,7 @@ namespace {
 // results.
 void runOverlayPhases(const core::HybridNetwork& net, sim::Simulator& simulator,
                       PreprocessingOutputs& out, PreprocessingReport& rep,
-                      unsigned seed) {
+                      unsigned seed, const RetryPolicy* retry) {
   out.tree = buildOverlayTree(simulator, seed);
   rep.treeConstruction = out.tree.rounds;
   rep.treeHeight = out.tree.height;
@@ -31,8 +31,9 @@ void runOverlayPhases(const core::HybridNetwork& net, sim::Simulator& simulator,
   for (const auto& a : net.abstractions()) {
     for (const auto& bay : a.bays) chains.push_back(bay.chain);
   }
-  DominatingSetProtocol ds(simulator, chains, seed);
+  DominatingSetProtocol ds(simulator, chains, seed, retry);
   rep.dominatingSets = ds.run();
+  rep.retransmissions += ds.reliableStats().retransmissions;
   out.bayDominatingSets.resize(chains.size());
   for (std::size_t c = 0; c < chains.size(); ++c) {
     out.bayDominatingSets[c] = ds.dominatingSet(c);
@@ -49,7 +50,8 @@ void runOverlayPhases(const core::HybridNetwork& net, sim::Simulator& simulator,
 
 PreprocessingOutputs runPreprocessing(const core::HybridNetwork& net,
                                       sim::Simulator& simulator,
-                                      PreprocessingReport* report, unsigned seed) {
+                                      PreprocessingReport* report, unsigned seed,
+                                      const RetryPolicy* retry) {
   PreprocessingReport rep;
   // The planar localized Delaunay graph is built in O(1) rounds with the
   // protocol of Li et al. (paper §5.1); we charge its constant here.
@@ -62,10 +64,11 @@ PreprocessingOutputs runPreprocessing(const core::HybridNetwork& net,
     rings.rings.push_back(net.holes().outerBoundary);
   }
   PreprocessingOutputs out;
-  RingPipeline pipeline(simulator, std::move(rings));
+  RingPipeline pipeline(simulator, std::move(rings), retry);
   out.ringResults = pipeline.run();
   rep.rings = pipeline.rounds();
-  runOverlayPhases(net, simulator, out, rep, seed);
+  rep.retransmissions += pipeline.reliableStats().retransmissions;
+  runOverlayPhases(net, simulator, out, rep, seed, retry);
   if (report != nullptr) *report = rep;
   return out;
 }
@@ -74,19 +77,22 @@ PreprocessingOutputs runDistributedPreprocessing(const core::HybridNetwork& net,
                                                  sim::Simulator& simulator,
                                                  PreprocessingReport* report,
                                                  unsigned seed,
-                                                 std::vector<std::vector<int>>* ringsOut) {
+                                                 std::vector<std::vector<int>>* ringsOut,
+                                                 const RetryPolicy* retry) {
   PreprocessingReport rep;
   // Actually run the O(1)-round LDel construction + local hole detection.
-  const auto ldel = runLdelConstruction(simulator, net.radius());
+  const auto ldel = runLdelConstruction(simulator, net.radius(), retry);
   rep.ldelConstruction = ldel.rounds;
+  rep.retransmissions += ldel.retransmissions;
 
   RingInputs rings;
   rings.rings = assembleRingsFromGaps(ldel);
 
   PreprocessingOutputs out;
-  RingPipeline pipeline(simulator, RingInputs{rings.rings});
+  RingPipeline pipeline(simulator, RingInputs{rings.rings}, retry);
   out.ringResults = pipeline.run();
   rep.rings = pipeline.rounds();
+  rep.retransmissions += pipeline.reliableStats().retransmissions;
 
   // §5.4 second run: the outer boundary (turning angle -2*pi) computed its
   // own convex hull; every long hull chord delimits an outer hole, whose
@@ -100,8 +106,9 @@ PreprocessingOutputs runDistributedPreprocessing(const core::HybridNetwork& net,
     outerHoleRings.insert(outerHoleRings.end(), derived.begin(), derived.end());
   }
   if (!outerHoleRings.empty()) {
-    RingPipeline second(simulator, RingInputs{outerHoleRings});
+    RingPipeline second(simulator, RingInputs{outerHoleRings}, retry);
     auto secondResults = second.run();
+    rep.retransmissions += second.reliableStats().retransmissions;
     rep.rings.pointerJumping += second.rounds().pointerJumping;
     rep.rings.idAssignment += second.rounds().idAssignment;
     rep.rings.aggregation += second.rounds().aggregation;
@@ -113,7 +120,7 @@ PreprocessingOutputs runDistributedPreprocessing(const core::HybridNetwork& net,
   }
   if (ringsOut != nullptr) *ringsOut = rings.rings;
 
-  runOverlayPhases(net, simulator, out, rep, seed);
+  runOverlayPhases(net, simulator, out, rep, seed, retry);
   if (report != nullptr) *report = rep;
   return out;
 }

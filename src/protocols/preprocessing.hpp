@@ -22,6 +22,10 @@ struct PreprocessingReport {
   int treeHeight = 0;
   bool treeIsSingle = false;
 
+  /// Transport retransmissions over the fault-tolerant phases (LDel, ring
+  /// pipeline, dominating sets); 0 when run without a RetryPolicy.
+  long retransmissions = 0;
+
   int totalRounds() const {
     return ldelConstruction + rings.total() + treeConstruction + hullDistribution +
            dominatingSets;
@@ -45,9 +49,13 @@ struct PreprocessingOutputs {
 /// The boundary rings come from the oracle's hole detection, standing in
 /// for the local boundary-detection step each node performs on its
 /// 2-localized Delaunay neighborhood (paper §5.2).
+/// With `retry` set, the LDel construction, ring pipeline and dominating
+/// sets run under the reliable ARQ transport, so the preprocessing
+/// completes correctly on a fault-injected simulator.
 PreprocessingOutputs runPreprocessing(const core::HybridNetwork& net,
                                       sim::Simulator& simulator,
-                                      PreprocessingReport* report, unsigned seed = 1);
+                                      PreprocessingReport* report, unsigned seed = 1,
+                                      const RetryPolicy* retry = nullptr);
 
 /// Fully distributed variant: instead of taking the boundary rings from
 /// the oracle, it runs the O(1)-round LDel construction protocol (§5.1),
@@ -60,6 +68,7 @@ PreprocessingOutputs runDistributedPreprocessing(const core::HybridNetwork& net,
                                                  sim::Simulator& simulator,
                                                  PreprocessingReport* report,
                                                  unsigned seed = 1,
-                                                 std::vector<std::vector<int>>* ringsOut = nullptr);
+                                                 std::vector<std::vector<int>>* ringsOut = nullptr,
+                                                 const RetryPolicy* retry = nullptr);
 
 }  // namespace hybrid::protocols

@@ -1,0 +1,126 @@
+#include "protocols/reliable.hpp"
+
+#include <algorithm>
+
+namespace hybrid::protocols {
+
+ReliableProtocol::ReliableProtocol(sim::Simulator& simulator, sim::Protocol& inner,
+                                   RetryPolicy policy)
+    : sim_(simulator), inner_(inner), policy_(policy) {
+  policy_.baseTimeout = std::max(3, policy_.baseTimeout);
+  policy_.maxTimeout = std::max(policy_.baseTimeout, policy_.maxTimeout);
+  policy_.maxAttempts = std::max(1, policy_.maxAttempts);
+  st_.resize(sim_.numNodes());
+  sim_.setSendTap(this);
+}
+
+ReliableProtocol::~ReliableProtocol() {
+  if (sim_.sendTap() == this) sim_.setSendTap(nullptr);
+}
+
+bool ReliableProtocol::onSend(sim::Message& m, int round) {
+  if (m.relCtl) return true;  // our own acks pass through untouched
+  if (m.relSeq >= 0) {
+    // A retransmission we initiated in onRoundEnd; already tracked.
+    ++stats_.retransmissions;
+    return true;
+  }
+  NodeState& s = st_[static_cast<std::size_t>(m.from)];
+  const int seq = s.nextSeqOut[m.to]++;
+  m.relSeq = seq;
+  PendingSend& p = s.pending[{m.to, seq}];
+  p.msg = m;
+  p.timeout = policy_.baseTimeout;
+  p.nextRetry = round + p.timeout;
+  p.attempts = 1;
+  return true;
+}
+
+void ReliableProtocol::onStart(sim::Context& ctx) { inner_.onStart(ctx); }
+
+void ReliableProtocol::deliver(sim::Context& ctx, const sim::Message& m) {
+  inner_.onMessage(ctx, m);
+}
+
+void ReliableProtocol::onMessage(sim::Context& ctx, const sim::Message& m) {
+  NodeState& s = st_[static_cast<std::size_t>(ctx.self())];
+  if (m.relCtl) {
+    s.pending.erase({m.from, m.relSeq});
+    return;
+  }
+  if (m.relSeq < 0) {
+    // Not transport-managed (sent outside this wrapper); pass through.
+    deliver(ctx, m);
+    return;
+  }
+  // Ack every data copy, duplicates included: the original ack may be the
+  // lost one, and acks are idempotent at the sender.
+  sim::Message ack;
+  ack.relCtl = true;
+  ack.relSeq = m.relSeq;
+  ++stats_.acks;
+  if (m.link == sim::Link::AdHoc) {
+    ctx.sendAdHoc(m.from, std::move(ack));
+  } else {
+    ctx.sendLongRange(m.from, std::move(ack));
+  }
+  InboundLink& in = s.in[m.from];
+  if (m.relSeq < in.nextSeq) {
+    ++stats_.duplicatesSuppressed;
+    return;
+  }
+  if (m.relSeq > in.nextSeq) {
+    // Restore per-link FIFO order: hold until the gap closes.
+    if (!in.held.emplace(m.relSeq, m).second) {
+      ++stats_.duplicatesSuppressed;
+    } else {
+      ++stats_.heldForOrder;
+    }
+    return;
+  }
+  deliver(ctx, m);
+  ++in.nextSeq;
+  for (auto it = in.held.begin(); it != in.held.end() && it->first == in.nextSeq;) {
+    deliver(ctx, it->second);
+    ++in.nextSeq;
+    it = in.held.erase(it);
+  }
+}
+
+void ReliableProtocol::onRoundEnd(sim::Context& ctx) {
+  inner_.onRoundEnd(ctx);
+  NodeState& s = st_[static_cast<std::size_t>(ctx.self())];
+  const int round = ctx.round();
+  for (auto it = s.pending.begin(); it != s.pending.end();) {
+    PendingSend& p = it->second;
+    if (round < p.nextRetry) {
+      ++it;
+      continue;
+    }
+    if (p.attempts >= policy_.maxAttempts) {
+      ++stats_.abandoned;
+      it = s.pending.erase(it);
+      continue;
+    }
+    ++p.attempts;
+    p.timeout = std::min(p.timeout * 2, policy_.maxTimeout);
+    p.nextRetry = round + p.timeout;
+    sim::Message copy = p.msg;
+    if (copy.link == sim::Link::AdHoc) {
+      ctx.sendAdHoc(copy.to, std::move(copy));
+    } else {
+      ctx.sendLongRange(copy.to, std::move(copy));
+    }
+    ++it;
+  }
+}
+
+bool ReliableProtocol::wantsMoreRounds() const {
+  if (inner_.wantsMoreRounds()) return true;
+  for (const NodeState& s : st_) {
+    if (!s.pending.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace hybrid::protocols

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hybrid::protocols {
+
+/// Timeout/backoff knobs for the reliable transport. The ad hoc round-trip
+/// is two rounds (data delivered round i+1, ack round i+2), so the base
+/// timeout must be at least 3 to avoid spurious retransmissions.
+struct RetryPolicy {
+  int baseTimeout = 3;   ///< Rounds before the first retransmission.
+  int maxTimeout = 32;   ///< Cap of the exponential backoff.
+  int maxAttempts = 16;  ///< Total sends per message before giving up.
+};
+
+/// Aggregate transport counters across all nodes of one wrapped run.
+struct ReliableStats {
+  long retransmissions = 0;
+  long acks = 0;
+  long duplicatesSuppressed = 0;  ///< Dropped as already-delivered copies.
+  long heldForOrder = 0;          ///< Buffered to restore per-link FIFO order.
+  long abandoned = 0;             ///< Gave up after maxAttempts sends.
+};
+
+/// Stop-and-go ARQ wrapper that turns the lossy fault-injected channels
+/// into reliable, per-link FIFO ones, transparently to the inner protocol:
+///
+///  - every inner send gets a per-(sender, receiver) sequence number
+///    (attached via the SendTap hook, so Context::send* stays the API);
+///  - the receiver acks every data message (acks ride the same link and
+///    are themselves lossy — the sender retries until acked or spent);
+///  - unacked messages are retransmitted with capped exponential backoff;
+///  - deliveries to the inner protocol are deduplicated and reordered
+///    into per-link sequence order, so duplication and delay faults are
+///    invisible above the transport.
+///
+/// With a fault-free simulator the wrapper only adds ack traffic; the
+/// inner protocol's message pattern is unchanged.
+class ReliableProtocol : public sim::Protocol, public sim::SendTap {
+ public:
+  ReliableProtocol(sim::Simulator& simulator, sim::Protocol& inner,
+                   RetryPolicy policy = {});
+  ~ReliableProtocol() override;
+
+  void onStart(sim::Context& ctx) override;
+  void onMessage(sim::Context& ctx, const sim::Message& m) override;
+  void onRoundEnd(sim::Context& ctx) override;
+  bool wantsMoreRounds() const override;
+
+  bool onSend(sim::Message& m, int round) override;
+
+  const ReliableStats& stats() const { return stats_; }
+
+ private:
+  struct PendingSend {
+    sim::Message msg;
+    int nextRetry = 0;
+    int timeout = 0;
+    int attempts = 0;
+  };
+  struct InboundLink {
+    int nextSeq = 0;
+    std::map<int, sim::Message> held;  ///< Out-of-order arrivals by seq.
+  };
+  struct NodeState {
+    std::map<int, int> nextSeqOut;                     ///< Per destination.
+    std::map<std::pair<int, int>, PendingSend> pending;  ///< (to, seq).
+    std::map<int, InboundLink> in;                     ///< Per sender.
+  };
+
+  void deliver(sim::Context& ctx, const sim::Message& m);
+
+  sim::Simulator& sim_;
+  sim::Protocol& inner_;
+  RetryPolicy policy_;
+  std::vector<NodeState> st_;
+  ReliableStats stats_;
+};
+
+}  // namespace hybrid::protocols

@@ -6,6 +6,7 @@
 
 #include "geom/angle.hpp"
 #include "geom/polygon.hpp"
+#include "protocols/reliable.hpp"
 
 namespace hybrid::protocols {
 
@@ -23,31 +24,40 @@ struct InstState {
   int succ0 = -1;
   double ownTurnAngle = 0.0;
 
-  // Phase 1: pointer jumping.
+  // Phase 1: pointer jumping. Messages are tagged with the sender's
+  // doubling step and buffered per step, so delayed or reordered arrivals
+  // (fault injection + retries) are consumed in step order instead of
+  // corrupting the doubling algebra.
   int curPred = -1;
   int curSucc = -1;
   long minSucc = kNoId;  ///< min ID over (v, curSucc]
   long minPred = kNoId;  ///< min ID over [curPred, v)
   std::vector<int> succDist;  ///< contact at ring distance 2^j forward
   std::vector<int> predDist;  ///< contact at ring distance 2^j backward
+  int pjStep = 0;
+  std::map<int, std::pair<int, long>> pjToPred;  ///< step -> (succ, minSucc)
+  std::map<int, std::pair<int, long>> pjToSucc;  ///< step -> (pred, minPred)
   bool elected = false;
   int leader = -1;
-  int nextSucc = -1;
-  long nextMinSucc = kNoId;
-  int nextPred = -1;
-  long nextMinPred = kNoId;
 
   // Phase 2: ring-distance IDs.
   long id = kNoId;
   long bestForwarded = kNoId;
 
-  // Phase 3: aggregation partials.
+  // Phase 3: aggregation partials. The binomial tree is event-driven: a
+  // node fires its level once every expected child partial arrived, which
+  // it knows exactly from the contacts' ID reports.
   long count = 1;
   double angle = 0.0;
   long maxId = 0;
   std::vector<int> hullIds;
   std::vector<geom::Vec2> hullPts;
   std::vector<int> childLevels;
+  int levelCap = 0;                ///< Uniform per-ring contact-table depth.
+  std::map<int, long> contactId;   ///< level -> ring ID of succDist[level].
+  std::set<int> receivedChildren;  ///< Levels whose partial arrived.
+  bool fired = false;
+  bool aggDone = false;
 
   // Phase 4: results.
   bool haveResult = false;
@@ -102,6 +112,12 @@ void mergeHullInto(InstState& s, const std::vector<int>& ids,
   }
 }
 
+int lowestSetBit(long x) {
+  int j = 0;
+  while (((x >> j) & 1) == 0) ++j;
+  return j;
+}
+
 // ---------------------------------------------------------------------------
 // Phase 1: pointer jumping with leader election (paper §5.2).
 // ---------------------------------------------------------------------------
@@ -109,8 +125,8 @@ class PointerJumping : public sim::Protocol {
  public:
   explicit PointerJumping(Instances& st) : st_(st) {}
 
-  static constexpr int kToPred = 1;  // ints: [ring, newSucc, minSucc]
-  static constexpr int kToSucc = 2;  // ints: [ring, newPred, minPred]
+  static constexpr int kToPred = 1;  // ints: [ring, step, newSucc, minSucc]
+  static constexpr int kToSucc = 2;  // ints: [ring, step, newPred, minPred]
 
   void onStart(sim::Context& ctx) override {
     for (InstState& s : st_.of(ctx.self())) {
@@ -127,36 +143,44 @@ class PointerJumping : public sim::Protocol {
   void onMessage(sim::Context& ctx, const sim::Message& m) override {
     InstState* s = st_.find(ctx.self(), static_cast<int>(m.ints[0]));
     if (s == nullptr) return;
+    const int step = static_cast<int>(m.ints[1]);
+    const auto slot = std::make_pair(static_cast<int>(m.ints[2]),
+                                     static_cast<long>(m.ints[3]));
     if (m.type == kToPred) {
-      s->nextSucc = static_cast<int>(m.ints[1]);
-      s->nextMinSucc = std::min(s->minSucc, static_cast<long>(m.ints[2]));
+      s->pjToPred.emplace(step, slot);
     } else if (m.type == kToSucc) {
-      s->nextPred = static_cast<int>(m.ints[1]);
-      s->nextMinPred = std::min(s->minPred, static_cast<long>(m.ints[2]));
+      s->pjToSucc.emplace(step, slot);
     }
   }
 
   void onRoundEnd(sim::Context& ctx) override {
     for (InstState& s : st_.of(ctx.self())) {
-      if (s.nextSucc < 0 || s.nextPred < 0) continue;  // not updated this round
-      s.curSucc = s.nextSucc;
-      s.curPred = s.nextPred;
-      s.minSucc = s.nextMinSucc;
-      s.minPred = s.nextMinPred;
-      s.nextSucc = s.nextPred = -1;
-      s.succDist.push_back(s.curSucc);
-      s.predDist.push_back(s.curPred);
-      if (s.elected) continue;  // post-election doubling round applied; stop
-      if (s.minSucc == s.minPred) {
-        // Both arcs wrapped far enough to cover the ring (minus v itself).
-        // One more doubling round runs so the contact tables reach level
-        // J+1 — the ID assignment needs sums up to 2^(J+2)-1 >= k-1.
-        s.elected = true;
-        s.leader = static_cast<int>(std::min(s.minSucc, static_cast<long>(ctx.self())));
+      // Consume buffered steps in order; usually one per round, but a
+      // node catches up in one round after a delayed message arrives.
+      while (true) {
+        const auto ip = s.pjToPred.find(s.pjStep);
+        const auto is = s.pjToSucc.find(s.pjStep);
+        if (ip == s.pjToPred.end() || is == s.pjToSucc.end()) break;
+        s.curSucc = ip->second.first;
+        s.minSucc = std::min(s.minSucc, ip->second.second);
+        s.curPred = is->second.first;
+        s.minPred = std::min(s.minPred, is->second.second);
+        s.pjToPred.erase(ip);
+        s.pjToSucc.erase(is);
+        ++s.pjStep;
+        s.succDist.push_back(s.curSucc);
+        s.predDist.push_back(s.curPred);
+        if (s.elected) continue;  // post-election doubling applied; no more sends
+        if (s.minSucc == s.minPred) {
+          // Both arcs wrapped far enough to cover the ring (minus v
+          // itself). One more doubling round runs so the contact tables
+          // reach level J+1 — the ID assignment needs sums up to
+          // 2^(J+2)-1 >= k-1.
+          s.elected = true;
+          s.leader = static_cast<int>(std::min(s.minSucc, static_cast<long>(ctx.self())));
+        }
         sendPair(ctx, s);
-        continue;
       }
-      sendPair(ctx, s);
     }
   }
 
@@ -164,12 +188,12 @@ class PointerJumping : public sim::Protocol {
   void sendPair(sim::Context& ctx, InstState& s) {
     sim::Message toPred;
     toPred.type = kToPred;
-    toPred.ints = {s.ring, s.curSucc, s.minSucc};
+    toPred.ints = {s.ring, s.pjStep, s.curSucc, s.minSucc};
     toPred.ids = {s.curSucc};
     ctx.sendLongRange(s.curPred, std::move(toPred));
     sim::Message toSucc;
     toSucc.type = kToSucc;
-    toSucc.ints = {s.ring, s.curPred, s.minPred};
+    toSucc.ints = {s.ring, s.pjStep, s.curPred, s.minPred};
     toSucc.ids = {s.curPred};
     ctx.sendLongRange(s.curSucc, std::move(toSucc));
   }
@@ -179,6 +203,9 @@ class PointerJumping : public sim::Protocol {
 
 // ---------------------------------------------------------------------------
 // Phase 2: ring-distance (hypercube) ID assignment from the leader.
+// Order-free: every node keeps the minimum received value and forwards
+// only strict improvements, so delayed or reordered deliveries converge
+// to the same IDs.
 // ---------------------------------------------------------------------------
 class IdAssignment : public sim::Protocol {
  public:
@@ -226,14 +253,19 @@ class IdAssignment : public sim::Protocol {
 
 // ---------------------------------------------------------------------------
 // Phase 3: binomial-tree aggregation of ring size, turning angle and the
-// convex hull (paper §5.3/§5.4).
+// convex hull (paper §5.3/§5.4). Event-driven: contacts first exchange
+// their ring IDs, which gives every node its exact child set (child at
+// level j iff the forward-2^j contact's ID is id + 2^j); a node pushes
+// its partial to its parent once all child partials arrived. No round
+// schedule — correct under arbitrary message delay.
 // ---------------------------------------------------------------------------
 class Aggregation : public sim::Protocol {
  public:
-  Aggregation(Instances& st, int levels) : st_(st), levels_(levels) {}
+  explicit Aggregation(Instances& st) : st_(st) {}
 
   static constexpr int kPartial = 4;
-  // ints: [ring, count, maxId, hullIds...]; reals: [angle, X..., Y...]
+  // ints: [ring, level, count, maxId, hullIds...]; reals: [angle, X..., Y...]
+  static constexpr int kIdReport = 6;  // ints: [ring, level, id]
 
   void onStart(sim::Context& ctx) override {
     for (InstState& s : st_.of(ctx.self())) {
@@ -243,46 +275,81 @@ class Aggregation : public sim::Protocol {
       s.hullIds = {ctx.self()};
       s.hullPts = {ctx.position()};
       s.childLevels.clear();
-      maybeSend(ctx, s, 0);
+      if (s.id == kNoId) {
+        s.fired = true;  // never got an ID (degenerate ring): inert
+        continue;
+      }
+      for (int j = 0; j < s.levelCap; ++j) {
+        const int target = s.predDist[static_cast<std::size_t>(j)];
+        if (target == ctx.self()) continue;
+        sim::Message m;
+        m.type = kIdReport;
+        m.ints = {s.ring, j, s.id};
+        ctx.sendLongRange(target, std::move(m));
+      }
+      maybeFire(ctx, s);
     }
   }
 
   void onMessage(sim::Context& ctx, const sim::Message& m) override {
     InstState* s = st_.find(ctx.self(), static_cast<int>(m.ints[0]));
     if (s == nullptr) return;
-    s->count += static_cast<long>(m.ints[1]);
-    s->maxId = std::max(s->maxId, static_cast<long>(m.ints[2]));
+    if (m.type == kIdReport) {
+      s->contactId.emplace(static_cast<int>(m.ints[1]), static_cast<long>(m.ints[2]));
+      maybeFire(ctx, *s);
+      return;
+    }
+    if (m.type != kPartial) return;
+    const int level = static_cast<int>(m.ints[1]);
+    if (!s->receivedChildren.insert(level).second) return;  // duplicate copy
+    s->count += static_cast<long>(m.ints[2]);
+    s->maxId = std::max(s->maxId, static_cast<long>(m.ints[3]));
     s->angle += m.reals[0];
-    const std::size_t h = m.ints.size() - 3;
+    const std::size_t h = m.ints.size() - 4;
     std::vector<int> ids;
     std::vector<geom::Vec2> pts;
     for (std::size_t i = 0; i < h; ++i) {
-      ids.push_back(static_cast<int>(m.ints[3 + i]));
+      ids.push_back(static_cast<int>(m.ints[4 + i]));
       pts.push_back({m.reals[1 + i], m.reals[1 + h + i]});
     }
     mergeHullInto(*s, ids, pts);
-    s->childLevels.push_back(ctx.round() - 1);  // sent at level = round - 1
+    s->childLevels.push_back(level);
+    maybeFire(ctx, *s);
   }
-
-  void onRoundEnd(sim::Context& ctx) override {
-    if (ctx.self() == 0) roundsSeen_ = ctx.round();
-    for (InstState& s : st_.of(ctx.self())) maybeSend(ctx, s, ctx.round());
-  }
-
-  bool wantsMoreRounds() const override { return roundsSeen_ < levels_; }
 
  private:
-  void maybeSend(sim::Context& ctx, InstState& s, int round) {
-    const int j = round;  // level j fires at round j, delivered j+1
-    if (j >= levels_ || s.id == kNoId) return;
-    const auto bit = static_cast<long>(1) << j;
-    if ((s.id & ((bit << 1) - 1)) != bit) return;
+  // The level this instance pushes its partial at: the lowest set bit of
+  // its ring ID. The leader (ID 0) never pushes; it is done when all its
+  // children fired.
+  static int fireLevel(const InstState& s) {
+    return s.id == 0 ? s.levelCap : std::min(lowestSetBit(s.id), s.levelCap);
+  }
+
+  void maybeFire(sim::Context& ctx, InstState& s) {
+    if (s.fired) return;
+    const int jf = fireLevel(s);
+    for (int j = 0; j < jf; ++j) {
+      if (s.succDist[static_cast<std::size_t>(j)] == s.node) continue;  // wrapped
+      const auto it = s.contactId.find(j);
+      if (it == s.contactId.end()) return;  // ID report still in flight
+      // The forward-2^j contact is our child iff its ID is exactly
+      // id + 2^j (a smaller ID means the pointer wrapped past the ring
+      // end — no such child).
+      if (it->second != s.id + (static_cast<long>(1) << j)) continue;
+      if (!s.receivedChildren.contains(j)) return;  // partial still missing
+    }
+    s.fired = true;
+    if (s.id == 0) {
+      s.aggDone = true;
+      return;
+    }
+    const int j = lowestSetBit(s.id);
     if (static_cast<std::size_t>(j) >= s.predDist.size()) return;
     const int target = s.predDist[static_cast<std::size_t>(j)];
-    if (target == ctx.self()) return;
+    if (target == s.node) return;
     sim::Message m;
     m.type = kPartial;
-    m.ints = {s.ring, s.count, s.maxId};
+    m.ints = {s.ring, j, s.count, s.maxId};
     for (int idv : s.hullIds) m.ints.push_back(idv);
     m.reals = {s.angle};
     for (const auto& p : s.hullPts) m.reals.push_back(p.x);
@@ -292,8 +359,6 @@ class Aggregation : public sim::Protocol {
   }
 
   Instances& st_;
-  int levels_;
-  int roundsSeen_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -348,8 +413,13 @@ class BroadcastDown : public sim::Protocol {
 
 }  // namespace
 
-RingPipeline::RingPipeline(sim::Simulator& simulator, RingInputs inputs)
+RingPipeline::RingPipeline(sim::Simulator& simulator, RingInputs inputs,
+                           const RetryPolicy* retry)
     : sim_(simulator), inputs_(std::move(inputs)) {
+  if (retry != nullptr) {
+    withRetry_ = true;
+    policy_ = *retry;
+  }
   ringId_.assign(sim_.numNodes(), -1);
   ringOf_.assign(sim_.numNodes(), -1);
   // Make each ring simple (drop repeated visits through cut vertices).
@@ -374,6 +444,18 @@ RingPipeline::RingPipeline(sim::Simulator& simulator, RingInputs inputs)
   }
 }
 
+int RingPipeline::runPhase(sim::Protocol& phase) {
+  if (!withRetry_) return sim_.run(phase);
+  ReliableProtocol reliable(sim_, phase, policy_);
+  const int rounds = sim_.run(reliable);
+  reliableStats_.retransmissions += reliable.stats().retransmissions;
+  reliableStats_.acks += reliable.stats().acks;
+  reliableStats_.duplicatesSuppressed += reliable.stats().duplicatesSuppressed;
+  reliableStats_.heldForOrder += reliable.stats().heldForOrder;
+  reliableStats_.abandoned += reliable.stats().abandoned;
+  return rounds;
+}
+
 std::vector<RingResult> RingPipeline::run() {
   Instances st(sim_.numNodes());
   for (std::size_t ri = 0; ri < inputs_.rings.size(); ++ri) {
@@ -391,22 +473,33 @@ std::vector<RingResult> RingPipeline::run() {
   }
 
   PointerJumping p1(st);
-  rounds_.pointerJumping = sim_.run(p1);
+  rounds_.pointerJumping = runPhase(p1);
 
   IdAssignment p2(st);
-  rounds_.idAssignment = sim_.run(p2);
+  rounds_.idAssignment = runPhase(p2);
 
-  int maxLevels = 1;
+  // Uniform per-ring contact-table depth: the aggregation's child
+  // arithmetic needs senders and receivers to agree on the levels in
+  // play, and tables can differ by a level across ring members.
+  std::vector<int> cap(inputs_.rings.size(), std::numeric_limits<int>::max());
   for (std::size_t v = 0; v < st.numNodes(); ++v) {
     for (const auto& s : st.of(static_cast<int>(v))) {
-      maxLevels = std::max(maxLevels, static_cast<int>(s.succDist.size()));
+      const int depth = static_cast<int>(std::min(s.succDist.size(), s.predDist.size()));
+      cap[static_cast<std::size_t>(s.ring)] =
+          std::min(cap[static_cast<std::size_t>(s.ring)], depth);
     }
   }
-  Aggregation p3(st, maxLevels);
-  rounds_.aggregation = sim_.run(p3);
+  for (std::size_t v = 0; v < st.numNodes(); ++v) {
+    for (auto& s : st.of(static_cast<int>(v))) {
+      s.levelCap = cap[static_cast<std::size_t>(s.ring)];
+    }
+  }
+
+  Aggregation p3(st);
+  rounds_.aggregation = runPhase(p3);
 
   BroadcastDown p4(st);
-  rounds_.broadcast = sim_.run(p4);
+  rounds_.broadcast = runPhase(p4);
 
   for (std::size_t v = 0; v < st.numNodes(); ++v) {
     const auto& list = st.of(static_cast<int>(v));

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "protocols/reliable.hpp"
 #include "sim/simulator.hpp"
 
 namespace hybrid::protocols {
@@ -41,12 +42,18 @@ struct RingPipelineRounds {
 ///  4. broadcast of the results back down, O(log k).
 class RingPipeline {
  public:
-  RingPipeline(sim::Simulator& simulator, RingInputs inputs);
+  /// With `retry` set, every phase runs under the ReliableProtocol ARQ
+  /// wrapper, so the pipeline completes correctly on a fault-injected
+  /// simulator (all phases are event-driven, not round-scheduled).
+  RingPipeline(sim::Simulator& simulator, RingInputs inputs,
+               const RetryPolicy* retry = nullptr);
 
   /// Runs all four phases; returns per-ring results.
   std::vector<RingResult> run();
 
   const RingPipelineRounds& rounds() const { return rounds_; }
+  /// Transport counters summed over all phases (all zero without retry).
+  const ReliableStats& reliableStats() const { return reliableStats_; }
 
   /// Ring-distance ID of a node after phase 2 (-1 if not on any ring).
   int ringIdOf(int node) const { return ringId_[static_cast<std::size_t>(node)]; }
@@ -56,8 +63,13 @@ class RingPipeline {
   int ringOf(int node) const { return ringOf_[static_cast<std::size_t>(node)]; }
 
  private:
+  int runPhase(sim::Protocol& phase);
+
   sim::Simulator& sim_;
   RingInputs inputs_;
+  bool withRetry_ = false;
+  RetryPolicy policy_;
+  ReliableStats reliableStats_;
   RingPipelineRounds rounds_;
   std::vector<int> ringId_;
   std::vector<int> ringOf_;

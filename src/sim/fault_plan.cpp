@@ -1,0 +1,68 @@
+#include "sim/fault_plan.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace hybrid::sim {
+
+namespace {
+
+// splitmix64: a 64-bit seed plus a stream position is enough entropy for
+// per-message coins, and it has no sequential state to corrupt replay.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t messageWord(std::uint64_t seed, int round, std::size_t index) {
+  return mix64(seed ^ mix64(static_cast<std::uint64_t>(round)) ^
+               mix64(0x51ebULL + static_cast<std::uint64_t>(index)));
+}
+
+double toUnit(std::uint64_t u) {
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(std::move(config)) {
+  active_ = config_.adHocDrop > 0.0 || config_.adHocDuplicate > 0.0 ||
+            config_.adHocDelay > 0.0 || config_.longRangeDrop > 0.0 ||
+            !config_.crashes.empty() || !config_.blackouts.empty();
+}
+
+bool FaultPlan::crashed(int node, int round) const {
+  for (const auto& c : config_.crashes) {
+    if (c.node == node && round >= c.fromRound && round < c.toRound) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::blackedOut(int round) const {
+  for (const auto& b : config_.blackouts) {
+    if (round >= b.fromRound && round < b.toRound) return true;
+  }
+  return false;
+}
+
+FaultAction FaultPlan::decide(int round, std::size_t index, const Message& m,
+                              int* delayRounds) const {
+  const std::uint64_t word = messageWord(config_.seed, round, index);
+  const double u = toUnit(word);
+  if (m.link == Link::LongRange) {
+    return u < config_.longRangeDrop ? FaultAction::Drop : FaultAction::Deliver;
+  }
+  if (u < config_.adHocDrop) return FaultAction::Drop;
+  if (u < config_.adHocDrop + config_.adHocDuplicate) return FaultAction::Duplicate;
+  if (u < config_.adHocDrop + config_.adHocDuplicate + config_.adHocDelay) {
+    const int span = config_.maxDelayRounds < 1 ? 1 : config_.maxDelayRounds;
+    if (delayRounds != nullptr) {
+      *delayRounds = 1 + static_cast<int>(mix64(word) % static_cast<std::uint64_t>(span));
+    }
+    return FaultAction::Delay;
+  }
+  return FaultAction::Deliver;
+}
+
+}  // namespace hybrid::sim

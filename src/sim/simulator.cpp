@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace hybrid::sim {
@@ -13,6 +14,11 @@ Simulator::Simulator(const graph::GeometricGraph& udg) : udg_(udg) {
   }
 }
 
+Simulator::Simulator(const graph::GeometricGraph& udg, FaultPlan faults)
+    : Simulator(udg) {
+  faults_ = std::move(faults);
+}
+
 bool Simulator::knows(int v, int id) const {
   return id == v || knowledge_[static_cast<std::size_t>(v)].contains(id);
 }
@@ -22,6 +28,7 @@ void Simulator::introduce(int v, int id) {
 }
 
 void Simulator::enqueue(Message m) {
+  if (tap_ != nullptr && !tap_->onSend(m, round_)) return;
   auto& st = stats_[static_cast<std::size_t>(m.from)];
   if (m.link == Link::AdHoc) {
     ++st.sentAdHoc;
@@ -30,6 +37,29 @@ void Simulator::enqueue(Message m) {
   }
   st.sentWords += static_cast<long>(m.words());
   pending_.push_back(std::move(m));
+}
+
+void Simulator::traceMessage(const char* tag, int round, const Message& m) {
+  if (!traceEnabled_) return;
+  char head[96];
+  std::snprintf(head, sizeof head, "R%d %s %d>%d %c t%d q%d%s", round, tag, m.from,
+                m.to, m.link == Link::AdHoc ? 'a' : 'l', m.type, m.relSeq,
+                m.relCtl ? " c" : "");
+  trace_ += head;
+  char word[48];
+  for (std::int64_t x : m.ints) {
+    std::snprintf(word, sizeof word, " i%lld", static_cast<long long>(x));
+    trace_ += word;
+  }
+  for (double x : m.reals) {
+    std::snprintf(word, sizeof word, " r%.17g", x);
+    trace_ += word;
+  }
+  for (int x : m.ids) {
+    std::snprintf(word, sizeof word, " d%d", x);
+    trace_ += word;
+  }
+  trace_ += '\n';
 }
 
 void Context::sendAdHoc(int to, Message m) {
@@ -54,16 +84,82 @@ void Context::sendLongRange(int to, Message m) {
 
 int Simulator::run(Protocol& protocol, int maxRounds) {
   pending_.clear();
+  delayed_.clear();
+  round_ = 0;
+  const bool faulty = faults_.active();
   for (int v = 0; v < static_cast<int>(numNodes()); ++v) {
+    if (faulty && faults_.crashed(v, 0)) continue;
     Context ctx(*this, v, 0);
     protocol.onStart(ctx);
   }
 
   int round = 0;
-  while (round < maxRounds && (!pending_.empty() || protocol.wantsMoreRounds())) {
+  while (round < maxRounds &&
+         (!pending_.empty() || !delayed_.empty() || protocol.wantsMoreRounds())) {
     ++round;
-    std::vector<Message> inbox = std::move(pending_);
-    pending_.clear();
+    round_ = round;
+    std::vector<Message> inbox;
+    if (faulty) {
+      // The fault layer decides each fresh message's fate in send order
+      // (deterministic), charging losses to the sender's counters.
+      std::vector<Message> fresh = std::move(pending_);
+      pending_.clear();
+      inbox.reserve(fresh.size());
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        Message& m = fresh[i];
+        auto& sender = stats_[static_cast<std::size_t>(m.from)];
+        if (faults_.crashed(m.to, round)) {
+          ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
+          traceMessage("XC", round, m);
+          continue;
+        }
+        if (m.link == Link::LongRange && faults_.blackedOut(round)) {
+          ++sender.droppedLongRange;
+          traceMessage("XB", round, m);
+          continue;
+        }
+        int delayRounds = 0;
+        switch (faults_.decide(round, i, m, &delayRounds)) {
+          case FaultAction::Drop:
+            ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
+            traceMessage("XD", round, m);
+            break;
+          case FaultAction::Duplicate:
+            ++sender.duplicated;
+            traceMessage("DU", round, m);
+            inbox.push_back(m);
+            inbox.push_back(std::move(m));
+            break;
+          case FaultAction::Delay:
+            ++sender.delayed;
+            traceMessage("DL", round, m);
+            delayed_.emplace_back(round + delayRounds, std::move(m));
+            break;
+          case FaultAction::Deliver:
+            inbox.push_back(std::move(m));
+            break;
+        }
+      }
+      // Deferred messages whose delay expired join the round's mailbox;
+      // their fate was decided when they were first deferred. A message
+      // cannot outlive its receiver: crashes still apply at delivery.
+      std::vector<std::pair<int, Message>> still;
+      for (auto& [due, m] : delayed_) {
+        if (due > round) {
+          still.emplace_back(due, std::move(m));
+        } else if (faults_.crashed(m.to, round)) {
+          auto& sender = stats_[static_cast<std::size_t>(m.from)];
+          ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
+          traceMessage("XC", round, m);
+        } else {
+          inbox.push_back(std::move(m));
+        }
+      }
+      delayed_ = std::move(still);
+    } else {
+      inbox = std::move(pending_);
+      pending_.clear();
+    }
     // Deterministic delivery order: by recipient, then sender.
     std::stable_sort(inbox.begin(), inbox.end(), [](const Message& a, const Message& b) {
       return a.to != b.to ? a.to < b.to : a.from < b.from;
@@ -73,15 +169,19 @@ int Simulator::run(Protocol& protocol, int maxRounds) {
       introduce(m.to, m.from);
       for (int id : m.ids) introduce(m.to, id);
       stats_[static_cast<std::size_t>(m.to)].receivedWords += static_cast<long>(m.words());
+      traceMessage("RX", round, m);
       Context ctx(*this, m.to, round);
       protocol.onMessage(ctx, m);
     }
     for (int v = 0; v < static_cast<int>(numNodes()); ++v) {
+      if (faulty && faults_.crashed(v, round)) continue;
       Context ctx(*this, v, round);
       protocol.onRoundEnd(ctx);
     }
   }
   lastRounds_ = round;
+  budget_.roundsUsed = round;
+  budget_.overrun = budget_.budget > 0 && round > budget_.budget;
   return round;
 }
 
@@ -95,6 +195,12 @@ long Simulator::maxWordsPerNode() const {
   long mx = 0;
   for (const auto& s : stats_) mx = std::max(mx, s.sentWords + s.receivedWords);
   return mx;
+}
+
+long Simulator::totalDropped() const {
+  long total = 0;
+  for (const auto& s : stats_) total += s.droppedAdHoc + s.droppedLongRange;
+  return total;
 }
 
 void Simulator::resetStats() {

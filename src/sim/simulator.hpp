@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace hybrid::sim {
 
@@ -26,15 +28,44 @@ struct Message {
   std::vector<double> reals;        ///< Real-valued payload words.
   std::vector<int> ids;             ///< Node IDs introduced to the receiver.
 
+  /// Reliable-transport header (protocols/reliable.hpp). relSeq >= 0 marks
+  /// an acknowledged data message; relCtl marks the ack itself. Plain
+  /// protocols leave both untouched.
+  int relSeq = -1;
+  bool relCtl = false;
+
   std::size_t words() const { return ints.size() + reals.size() + ids.size() + 1; }
 };
 
-/// Per-node traffic accounting.
+/// Per-node traffic and fault accounting. Fault counters are charged to
+/// the *sender* of the affected message.
 struct NodeStats {
   long sentAdHoc = 0;
   long sentLongRange = 0;
   long sentWords = 0;
   long receivedWords = 0;
+  long droppedAdHoc = 0;      ///< Lost to random drops or receiver crashes.
+  long droppedLongRange = 0;  ///< Lost to random drops, blackouts or crashes.
+  long duplicated = 0;        ///< Delivered twice by the fault layer.
+  long delayed = 0;           ///< Deferred one or more rounds.
+};
+
+/// Round-budget accounting for one run: `budget` is the protocol's
+/// round allowance (0 = unlimited), `roundsUsed` what the run took.
+struct RoundBudgetReport {
+  int budget = 0;
+  int roundsUsed = 0;
+  bool overrun = false;
+  int overrunRounds() const { return overrun ? roundsUsed - budget : 0; }
+};
+
+/// Observes (and may swallow) every protocol send before it is queued.
+/// The reliable transport registers one to attach sequence numbers.
+class SendTap {
+ public:
+  virtual ~SendTap() = default;
+  /// Return false to swallow the message (nothing is queued or counted).
+  virtual bool onSend(Message& m, int round) = 0;
 };
 
 class Protocol;
@@ -47,9 +78,15 @@ class Protocol;
 /// graph) starts as E_AH — every node knows its UDG neighbors' IDs — and
 /// grows through ID-introductions carried in Message::ids. A long-range
 /// send to an unknown ID is a protocol error and throws.
+///
+/// An optional FaultPlan injects deterministic, seed-reproducible faults:
+/// per-message drop/duplicate/delay on the ad hoc channel, long-range
+/// drops and blackouts, and node crash/recover intervals. With no plan
+/// (or an all-zero one) the simulator is exactly the loss-free model.
 class Simulator {
  public:
   explicit Simulator(const graph::GeometricGraph& udg);
+  Simulator(const graph::GeometricGraph& udg, FaultPlan faults);
 
   const graph::GeometricGraph& udg() const { return udg_; }
   std::size_t numNodes() const { return udg_.numNodes(); }
@@ -66,20 +103,50 @@ class Simulator {
   const std::vector<NodeStats>& stats() const { return stats_; }
   long totalMessages() const;
   long maxWordsPerNode() const;
+  long totalDropped() const;
   int lastRounds() const { return lastRounds_; }
+  int currentRound() const { return round_; }
 
   /// Resets traffic statistics (knowledge is kept).
   void resetStats();
 
+  void setFaultPlan(FaultPlan faults) { faults_ = std::move(faults); }
+  const FaultPlan& faultPlan() const { return faults_; }
+
+  /// Sets the per-run round allowance; run() never stops early because of
+  /// it, but budgetReport() flags the overrun afterwards.
+  void setRoundBudget(int rounds) { budget_.budget = rounds; }
+  const RoundBudgetReport& budgetReport() const { return budget_; }
+
+  /// At most one tap; pass nullptr to clear. See protocols/reliable.hpp.
+  void setSendTap(SendTap* tap) { tap_ = tap; }
+  SendTap* sendTap() const { return tap_; }
+
+  /// Records every delivery and fault event of subsequent runs into an
+  /// append-only text trace. Two runs with equal seeds and protocols must
+  /// produce byte-identical traces (enforced by fault_injection_test).
+  void enableTrace(bool on = true) { traceEnabled_ = on; }
+  const std::string& trace() const { return trace_; }
+  void clearTrace() { trace_.clear(); }
+
  private:
   friend class Context;
   void enqueue(Message m);
+  void traceMessage(const char* tag, int round, const Message& m);
 
   const graph::GeometricGraph& udg_;
   std::vector<std::unordered_set<int>> knowledge_;
   std::vector<Message> pending_;
+  /// Messages deferred by the fault layer, with their due round.
+  std::vector<std::pair<int, Message>> delayed_;
   std::vector<NodeStats> stats_;
+  FaultPlan faults_;
+  RoundBudgetReport budget_;
+  SendTap* tap_ = nullptr;
+  bool traceEnabled_ = false;
+  std::string trace_;
   int lastRounds_ = 0;
+  int round_ = 0;
 };
 
 /// Handle through which protocol code interacts with the simulator for one

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <algorithm>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,10 @@ inline unsigned resolveThreads(int requested) {
 /// `threads` workers. Chunking is deterministic: merging per-chunk results
 /// in chunk order reproduces the sequential order, so parallel builds stay
 /// bit-identical to serial ones.
+///
+/// A throwing worker does not std::terminate the process: the first
+/// exception (in chunk order, for determinism) is captured and rethrown on
+/// the calling thread after every worker joined.
 inline void parallelChunks(std::size_t n, unsigned threads,
                            const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
   threads = std::max(1u, std::min<unsigned>(threads, n == 0 ? 1 : static_cast<unsigned>(n)));
@@ -29,13 +35,27 @@ inline void parallelChunks(std::size_t n, unsigned threads,
   const std::size_t chunk = (n + threads - 1) / threads;
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  std::mutex errMutex;
+  std::exception_ptr firstError;
+  unsigned firstErrorChunk = 0;
   for (unsigned t = 0; t < threads; ++t) {
     const std::size_t begin = std::min(n, static_cast<std::size_t>(t) * chunk);
     const std::size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([&fn, begin, end, t] { fn(begin, end, t); });
+    workers.emplace_back([&fn, &errMutex, &firstError, &firstErrorChunk, begin, end, t] {
+      try {
+        fn(begin, end, t);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errMutex);
+        if (firstError == nullptr || t < firstErrorChunk) {
+          firstError = std::current_exception();
+          firstErrorChunk = t;
+        }
+      }
+    });
   }
   for (auto& w : workers) w.join();
+  if (firstError != nullptr) std::rethrow_exception(firstError);
 }
 
 }  // namespace hybrid::util

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hybrid_network.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/shapes.hpp"
+
+namespace hybrid {
+namespace {
+
+// The parallel LDel construction merges per-chunk results in chunk order
+// (util::parallelChunks), so a multi-threaded build must be bit-identical
+// to the single-threaded one — and with it everything derived downstream:
+// hole rings, outer boundary, and the complete hole abstractions.
+TEST(Determinism, ThreadedPipelineMatchesSingleThreaded) {
+  for (unsigned seed : {11u, 12u, 13u}) {
+    scenario::ScenarioParams p;
+    p.width = p.height = 18.0;
+    p.seed = seed;
+    p.obstacles.push_back(scenario::regularPolygonObstacle({6, 6}, 2.0, 5));
+    p.obstacles.push_back(scenario::regularPolygonObstacle({12, 12}, 2.2, 7));
+    const auto sc = scenario::makeScenario(p);
+    ASSERT_GE(sc.points.size(), 256u);  // large enough for the threaded path
+
+    delaunay::LDelOptions serial;
+    serial.threads = 1;
+    delaunay::LDelOptions threaded;
+    threaded.threads = 4;
+    const core::HybridNetwork a(sc.points, serial);
+    const core::HybridNetwork b(sc.points, threaded);
+
+    EXPECT_EQ(a.ldel().edges(), b.ldel().edges()) << "seed " << seed;
+    EXPECT_EQ(a.ldelResult().triangles, b.ldelResult().triangles) << "seed " << seed;
+
+    ASSERT_EQ(a.holes().holes.size(), b.holes().holes.size()) << "seed " << seed;
+    for (std::size_t h = 0; h < a.holes().holes.size(); ++h) {
+      EXPECT_EQ(a.holes().holes[h].ring, b.holes().holes[h].ring)
+          << "seed " << seed << " hole " << h;
+    }
+    EXPECT_EQ(a.holes().outerBoundary, b.holes().outerBoundary) << "seed " << seed;
+
+    ASSERT_EQ(a.abstractions().size(), b.abstractions().size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.abstractions().size(); ++i) {
+      const auto& ha = a.abstractions()[i];
+      const auto& hb = b.abstractions()[i];
+      EXPECT_EQ(ha.hullNodes, hb.hullNodes) << "seed " << seed << " hole " << i;
+      EXPECT_EQ(ha.locallyConvexHull, hb.locallyConvexHull)
+          << "seed " << seed << " hole " << i;
+      ASSERT_EQ(ha.bays.size(), hb.bays.size()) << "seed " << seed << " hole " << i;
+      for (std::size_t bay = 0; bay < ha.bays.size(); ++bay) {
+        EXPECT_EQ(ha.bays[bay].chain, hb.bays[bay].chain)
+            << "seed " << seed << " hole " << i << " bay " << bay;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/parallel.hpp"
 
@@ -62,6 +63,48 @@ TEST(Parallel, ResolveThreads) {
   EXPECT_EQ(resolveThreads(3), 3u);
   EXPECT_GE(resolveThreads(0), 1u);
   EXPECT_GE(resolveThreads(-1), 1u);
+}
+
+// Regression: a throwing worker used to escape its std::thread and take
+// the whole process down via std::terminate. n must be >= 256 so the
+// threaded path (not the inline fallback) runs.
+TEST(Parallel, WorkerExceptionPropagatesToCaller) {
+  const std::size_t n = 4096;
+  std::atomic<int> completed{0};
+  try {
+    parallelChunks(n, 4, [&](std::size_t, std::size_t, unsigned c) {
+      if (c == 2) throw std::runtime_error("chunk 2 failed");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected parallelChunks to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 2 failed");
+  }
+  // The other workers still ran to completion (join-before-rethrow).
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(Parallel, AllWorkersThrowRethrowsFirstChunk) {
+  try {
+    parallelChunks(4096, 4, [&](std::size_t, std::size_t, unsigned c) {
+      throw std::runtime_error("chunk " + std::to_string(c));
+    });
+    FAIL() << "expected parallelChunks to rethrow";
+  } catch (const std::runtime_error& e) {
+    // Deterministic pick: the lowest chunk index wins, whatever the
+    // threads' finishing order.
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+}
+
+TEST(Parallel, InlinePathExceptionAlsoPropagates) {
+  // Below the threading threshold the call runs inline; the exception
+  // contract is the same.
+  EXPECT_THROW(
+      parallelChunks(10, 4, [](std::size_t, std::size_t, unsigned) {
+        throw std::logic_error("inline");
+      }),
+      std::logic_error);
 }
 
 }  // namespace
