@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <random>
+#include <utility>
 
 #include "core/hybrid_network.hpp"
 #include "delaunay/ldel.hpp"
@@ -16,6 +18,7 @@
 #include "graph/shortest_path.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/shapes.hpp"
+#include "sim/message_pool.hpp"
 
 namespace {
 
@@ -148,6 +151,129 @@ void BM_NetworkConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NetworkConstruction)->Arg(1000)->Arg(3000);
+
+// ---------------------------------------------------------------------------
+// Simulator hot-path kernels: delivery ordering and message allocation.
+// ---------------------------------------------------------------------------
+
+// Synthetic round of m messages among n nodes with the distribution the
+// simulator sees (every node talks to a handful of others).
+std::vector<std::pair<int, int>> randomTraffic(std::size_t m, int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, n - 1);
+  std::vector<std::pair<int, int>> fromTo(m);
+  for (auto& [from, to] : fromTo) {
+    from = node(rng);
+    to = node(rng);
+  }
+  return fromTo;
+}
+
+// Pre-PR ordering: comparison stable_sort into (to, from, send-index),
+// O(m log m) plus the sort's internal buffer.
+void BM_DeliveryOrderStableSort(benchmark::State& state) {
+  const int n = 10000;
+  const auto traffic = randomTraffic(static_cast<std::size_t>(state.range(0)), n, 7);
+  std::vector<std::uint32_t> order(traffic.size());
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       if (traffic[a].second != traffic[b].second) {
+                         return traffic[a].second < traffic[b].second;
+                       }
+                       return traffic[a].first < traffic[b].first;
+                     });
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeliveryOrderStableSort)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// This PR's ordering: two stable counting passes (by sender, then by
+// recipient), O(m + n) with reused scratch — what Simulator::sortInbox does.
+void BM_DeliveryOrderCountingSort(benchmark::State& state) {
+  const int n = 10000;
+  const auto traffic = randomTraffic(static_cast<std::size_t>(state.range(0)), n, 7);
+  std::vector<std::uint32_t> order(traffic.size());
+  std::vector<std::uint32_t> tmp(traffic.size());
+  std::vector<std::uint32_t> counts;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    counts.assign(static_cast<std::size_t>(n), 0);
+    for (std::uint32_t i : order) ++counts[static_cast<std::size_t>(traffic[i].first)];
+    std::uint32_t running = 0;
+    for (auto& c : counts) {
+      const std::uint32_t k = c;
+      c = running;
+      running += k;
+    }
+    for (std::uint32_t i : order) tmp[counts[static_cast<std::size_t>(traffic[i].first)]++] = i;
+    counts.assign(static_cast<std::size_t>(n), 0);
+    for (std::uint32_t i : tmp) ++counts[static_cast<std::size_t>(traffic[i].second)];
+    running = 0;
+    for (auto& c : counts) {
+      const std::uint32_t k = c;
+      c = running;
+      running += k;
+    }
+    for (std::uint32_t i : tmp) order[counts[static_cast<std::size_t>(traffic[i].second)]++] = i;
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeliveryOrderCountingSort)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// Pre-PR message lifecycle: a fresh heap-backed message per send.
+struct FreshMessage {
+  int from = -1, to = -1, type = 0;
+  std::vector<std::int64_t> ints;
+  std::vector<double> reals;
+  std::vector<int> ids;
+};
+
+void BM_MessageFreshHeap(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<FreshMessage> round;
+    for (int i = 0; i < 256; ++i) {
+      FreshMessage m;
+      m.from = i;
+      m.to = i + 1;
+      m.ints = {1, 2, 3};
+      m.reals = {0.5};
+      m.ids = {i};
+      round.push_back(std::move(m));
+    }
+    benchmark::DoNotOptimize(round.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MessageFreshHeap);
+
+// This PR's lifecycle: pooled slots with small-buffer payloads; in steady
+// state acquire/fill/release never touches the heap.
+void BM_MessagePooledRecycled(benchmark::State& state) {
+  sim::MessagePool pool;
+  std::vector<sim::MessagePool::Handle> round;
+  round.reserve(256);
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      const auto h = pool.acquire();
+      sim::Message& m = pool.get(h);
+      m.from = i;
+      m.to = i + 1;
+      m.ints = {1, 2, 3};
+      m.reals = {0.5};
+      m.ids = {i};
+      round.push_back(h);
+    }
+    for (const auto h : round) pool.release(h);
+    round.clear();
+    benchmark::DoNotOptimize(pool.slotCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MessagePooledRecycled);
 
 }  // namespace
 

@@ -20,12 +20,12 @@ ReliableProtocol::~ReliableProtocol() {
 
 bool ReliableProtocol::onSend(sim::Message& m, int round) {
   if (m.relCtl) return true;  // our own acks pass through untouched
+  NodeState& s = st_[static_cast<std::size_t>(m.from)];
   if (m.relSeq >= 0) {
     // A retransmission we initiated in onRoundEnd; already tracked.
-    ++stats_.retransmissions;
+    ++s.counters.retransmissions;
     return true;
   }
-  NodeState& s = st_[static_cast<std::size_t>(m.from)];
   const int seq = s.nextSeqOut[m.to]++;
   m.relSeq = seq;
   PendingSend& p = s.pending[{m.to, seq}];
@@ -58,7 +58,7 @@ void ReliableProtocol::onMessage(sim::Context& ctx, const sim::Message& m) {
   sim::Message ack;
   ack.relCtl = true;
   ack.relSeq = m.relSeq;
-  ++stats_.acks;
+  ++s.counters.acks;
   if (m.link == sim::Link::AdHoc) {
     ctx.sendAdHoc(m.from, std::move(ack));
   } else {
@@ -66,15 +66,15 @@ void ReliableProtocol::onMessage(sim::Context& ctx, const sim::Message& m) {
   }
   InboundLink& in = s.in[m.from];
   if (m.relSeq < in.nextSeq) {
-    ++stats_.duplicatesSuppressed;
+    ++s.counters.duplicatesSuppressed;
     return;
   }
   if (m.relSeq > in.nextSeq) {
     // Restore per-link FIFO order: hold until the gap closes.
     if (!in.held.emplace(m.relSeq, m).second) {
-      ++stats_.duplicatesSuppressed;
+      ++s.counters.duplicatesSuppressed;
     } else {
-      ++stats_.heldForOrder;
+      ++s.counters.heldForOrder;
     }
     return;
   }
@@ -98,7 +98,7 @@ void ReliableProtocol::onRoundEnd(sim::Context& ctx) {
       continue;
     }
     if (p.attempts >= policy_.maxAttempts) {
-      ++stats_.abandoned;
+      ++s.counters.abandoned;
       it = s.pending.erase(it);
       continue;
     }
@@ -113,6 +113,18 @@ void ReliableProtocol::onRoundEnd(sim::Context& ctx) {
     }
     ++it;
   }
+}
+
+ReliableStats ReliableProtocol::stats() const {
+  ReliableStats total;
+  for (const NodeState& s : st_) {
+    total.retransmissions += s.counters.retransmissions;
+    total.acks += s.counters.acks;
+    total.duplicatesSuppressed += s.counters.duplicatesSuppressed;
+    total.heldForOrder += s.counters.heldForOrder;
+    total.abandoned += s.counters.abandoned;
+  }
+  return total;
 }
 
 bool ReliableProtocol::wantsMoreRounds() const {

@@ -16,7 +16,9 @@ struct RetryPolicy {
   int maxAttempts = 16;  ///< Total sends per message before giving up.
 };
 
-/// Aggregate transport counters across all nodes of one wrapped run.
+/// Transport counters aggregated across all nodes of one wrapped run
+/// (internally the transport counts per node so that multi-threaded
+/// stepping never shares a counter between chunks).
 struct ReliableStats {
   long retransmissions = 0;
   long acks = 0;
@@ -52,7 +54,8 @@ class ReliableProtocol : public sim::Protocol, public sim::SendTap {
 
   bool onSend(sim::Message& m, int round) override;
 
-  const ReliableStats& stats() const { return stats_; }
+  /// Sums the per-node counters; cheap (one pass over nodes).
+  ReliableStats stats() const;
 
  private:
   struct PendingSend {
@@ -69,6 +72,7 @@ class ReliableProtocol : public sim::Protocol, public sim::SendTap {
     std::map<int, int> nextSeqOut;                     ///< Per destination.
     std::map<std::pair<int, int>, PendingSend> pending;  ///< (to, seq).
     std::map<int, InboundLink> in;                     ///< Per sender.
+    ReliableStats counters;  ///< This node's share of the transport stats.
   };
 
   void deliver(sim::Context& ctx, const sim::Message& m);
@@ -77,7 +81,6 @@ class ReliableProtocol : public sim::Protocol, public sim::SendTap {
   sim::Protocol& inner_;
   RetryPolicy policy_;
   std::vector<NodeState> st_;
-  ReliableStats stats_;
 };
 
 }  // namespace hybrid::protocols

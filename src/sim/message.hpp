@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/small_vec.hpp"
+
+namespace hybrid::sim {
+
+/// Which kind of link carries a message (paper section 1.1).
+enum class Link {
+  AdHoc,      ///< WiFi edge of the unit disk graph (free, short range).
+  LongRange,  ///< Cellular/satellite link; requires knowing the target ID.
+};
+
+/// A message in flight. Payloads are plain words; `ids` additionally
+/// carries node IDs, which the receiver learns on delivery (the paper's
+/// ID-introduction primitive is "send an ID over an edge of E").
+///
+/// Payload storage is small-buffer optimized: up to the inline capacities
+/// below a message never touches the heap, so protocols can build messages
+/// on the stack and the simulator's MessagePool can recycle slots without
+/// allocating. Longer payloads spill transparently.
+struct Message {
+  int from = -1;
+  int to = -1;
+  Link link = Link::AdHoc;
+  int type = 0;                              ///< Protocol-defined tag.
+  util::SmallVec<std::int64_t, 4> ints;      ///< Integer payload words.
+  util::SmallVec<double, 4> reals;           ///< Real-valued payload words.
+  util::SmallVec<int, 6> ids;                ///< Node IDs introduced to the receiver.
+
+  /// Reliable-transport header (protocols/reliable.hpp). relSeq >= 0 marks
+  /// an acknowledged data message; relCtl marks the ack itself. Plain
+  /// protocols leave both untouched.
+  int relSeq = -1;
+  bool relCtl = false;
+
+  std::size_t words() const { return ints.size() + reals.size() + ids.size() + 1; }
+};
+
+}  // namespace hybrid::sim

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace hybrid::sim {
 
 Simulator::Simulator(const graph::GeometricGraph& udg) : udg_(udg) {
@@ -19,6 +21,8 @@ Simulator::Simulator(const graph::GeometricGraph& udg, FaultPlan faults)
   faults_ = std::move(faults);
 }
 
+Simulator::~Simulator() = default;
+
 bool Simulator::knows(int v, int id) const {
   return id == v || knowledge_[static_cast<std::size_t>(v)].contains(id);
 }
@@ -27,7 +31,7 @@ void Simulator::introduce(int v, int id) {
   if (id != v) knowledge_[static_cast<std::size_t>(v)].insert(id);
 }
 
-void Simulator::enqueue(Message m) {
+void Simulator::finishSend(Message&& m) {
   if (tap_ != nullptr && !tap_->onSend(m, round_)) return;
   auto& st = stats_[static_cast<std::size_t>(m.from)];
   if (m.link == Link::AdHoc) {
@@ -36,30 +40,44 @@ void Simulator::enqueue(Message m) {
     ++st.sentLongRange;
   }
   st.sentWords += static_cast<long>(m.words());
-  pending_.push_back(std::move(m));
+  const MessagePool::Handle h = pool_.acquire();
+  pool_.get(h) = std::move(m);
+  pending_.push_back(h);
 }
 
-void Simulator::traceMessage(const char* tag, int round, const Message& m) {
+void Simulator::mergeChunks() {
+  for (ChunkBuf& cb : chunks_) {
+    if (!cb.trace.empty()) {
+      trace_ += cb.trace;
+      cb.trace.clear();
+    }
+    for (Message& m : cb.outbox) finishSend(std::move(m));
+    cb.outbox.clear();
+  }
+}
+
+void Simulator::traceMessage(std::string& out, const char* tag, int round,
+                             const Message& m) {
   if (!traceEnabled_) return;
   char head[96];
   std::snprintf(head, sizeof head, "R%d %s %d>%d %c t%d q%d%s", round, tag, m.from,
                 m.to, m.link == Link::AdHoc ? 'a' : 'l', m.type, m.relSeq,
                 m.relCtl ? " c" : "");
-  trace_ += head;
+  out += head;
   char word[48];
   for (std::int64_t x : m.ints) {
     std::snprintf(word, sizeof word, " i%lld", static_cast<long long>(x));
-    trace_ += word;
+    out += word;
   }
   for (double x : m.reals) {
     std::snprintf(word, sizeof word, " r%.17g", x);
-    trace_ += word;
+    out += word;
   }
   for (int x : m.ids) {
     std::snprintf(word, sizeof word, " d%d", x);
-    trace_ += word;
+    out += word;
   }
-  trace_ += '\n';
+  out += '\n';
 }
 
 void Context::sendAdHoc(int to, Message m) {
@@ -69,7 +87,11 @@ void Context::sendAdHoc(int to, Message m) {
   m.from = self_;
   m.to = to;
   m.link = Link::AdHoc;
-  sim_.enqueue(std::move(m));
+  if (outbox_ != nullptr) {
+    outbox_->push_back(std::move(m));
+  } else {
+    sim_.finishSend(std::move(m));
+  }
 }
 
 void Context::sendLongRange(int to, Message m) {
@@ -79,105 +101,253 @@ void Context::sendLongRange(int to, Message m) {
   m.from = self_;
   m.to = to;
   m.link = Link::LongRange;
-  sim_.enqueue(std::move(m));
+  if (outbox_ != nullptr) {
+    outbox_->push_back(std::move(m));
+  } else {
+    sim_.finishSend(std::move(m));
+  }
+}
+
+void Simulator::sortInbox() {
+  // Target order: by recipient, then sender, stable by send index — the
+  // simulator's documented delivery-order guarantee.
+  const std::size_t count = inbox_.size();
+  keys_.resize(count);
+  if (count < 2) {
+    if (count == 1) {
+      const Message& m = pool_.get(inbox_[0]);
+      keys_[0] = (static_cast<std::uint64_t>(m.to) << 32) |
+                 static_cast<std::uint32_t>(m.from);
+    }
+    return;
+  }
+  // Extract each message's (to, from) into a packed key once: the sort
+  // passes then stream over 12-byte entries instead of re-reading the
+  // ~200-byte message slots (which at large m blow out the cache).
+  for (std::size_t i = 0; i < count; ++i) {
+    const Message& m = pool_.get(inbox_[i]);
+    keys_[i] = (static_cast<std::uint64_t>(m.to) << 32) |
+               static_cast<std::uint32_t>(m.from);
+  }
+  if (count < 64) {
+    // Tiny rounds: in-place stable insertion sort, no O(n) counting scan.
+    for (std::size_t i = 1; i < count; ++i) {
+      const MessagePool::Handle h = inbox_[i];
+      const std::uint64_t k = keys_[i];
+      std::size_t j = i;
+      while (j > 0 && keys_[j - 1] > k) {
+        inbox_[j] = inbox_[j - 1];
+        keys_[j] = keys_[j - 1];
+        --j;
+      }
+      inbox_[j] = h;
+      keys_[j] = k;
+    }
+    return;
+  }
+  // Two-pass stable counting sort (LSD radix over the (to, from) key):
+  // O(m + n), allocation-free once the scratch buffers warmed up.
+  const std::size_t n = numNodes();
+  sortTmp_.resize(count);
+  keyTmp_.resize(count);
+  counts_.assign(n, 0);
+  for (const std::uint64_t k : keys_) {
+    ++counts_[static_cast<std::uint32_t>(k)];
+  }
+  std::uint32_t running = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t c = counts_[v];
+    counts_[v] = running;
+    running += c;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t k = keys_[i];
+    const std::uint32_t pos = counts_[static_cast<std::uint32_t>(k)]++;
+    sortTmp_[pos] = inbox_[i];
+    keyTmp_[pos] = k;
+  }
+  counts_.assign(n, 0);
+  for (const std::uint64_t k : keyTmp_) {
+    ++counts_[k >> 32];
+  }
+  running = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t c = counts_[v];
+    counts_[v] = running;
+    running += c;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t k = keyTmp_[i];
+    const std::uint32_t pos = counts_[k >> 32]++;
+    inbox_[pos] = sortTmp_[i];
+    keys_[pos] = k;
+  }
+}
+
+void Simulator::releaseInbox() {
+  // A duplicated message occupies two adjacent slots of the sorted inbox
+  // (equal key, consecutive insertion) but only one pool slot.
+  MessagePool::Handle prev = MessagePool::kInvalid;
+  for (const MessagePool::Handle h : inbox_) {
+    if (h != prev) pool_.release(h);
+    prev = h;
+  }
+}
+
+void Simulator::releaseAllInFlight() {
+  for (const MessagePool::Handle h : pending_) pool_.release(h);
+  pending_.clear();
+  for (const auto& [due, h] : delayed_) pool_.release(h);
+  delayed_.clear();
 }
 
 int Simulator::run(Protocol& protocol, int maxRounds) {
-  pending_.clear();
-  delayed_.clear();
+  releaseAllInFlight();
   round_ = 0;
   const bool faulty = faults_.active();
-  for (int v = 0; v < static_cast<int>(numNodes()); ++v) {
-    if (faulty && faults_.crashed(v, 0)) continue;
-    Context ctx(*this, v, 0);
-    protocol.onStart(ctx);
-  }
+  const std::size_t n = numNodes();
+  unsigned threads = util::resolveThreads(threads_);
+  threads = std::min(threads, util::ThreadPool::kMaxWorkers + 1);
+  if (chunks_.size() < threads) chunks_.resize(threads);
+  // Serial runs admit sends immediately (same order as staging + merging,
+  // minus the staging move); parallel runs stage into per-chunk outboxes.
+  const bool serial = threads == 1;
+
+  util::parallelChunks(n, threads, [&](std::size_t b, std::size_t e, unsigned c) {
+    ChunkBuf& cb = chunks_[c];
+    for (std::size_t v = b; v < e; ++v) {
+      if (faulty && faults_.crashed(static_cast<int>(v), 0)) continue;
+      Context ctx(*this, static_cast<int>(v), 0, serial ? nullptr : &cb.outbox);
+      protocol.onStart(ctx);
+    }
+  });
+  mergeChunks();
 
   int round = 0;
   while (round < maxRounds &&
          (!pending_.empty() || !delayed_.empty() || protocol.wantsMoreRounds())) {
     ++round;
     round_ = round;
-    std::vector<Message> inbox;
+    inbox_.clear();
     if (faulty) {
       // The fault layer decides each fresh message's fate in send order
       // (deterministic), charging losses to the sender's counters.
-      std::vector<Message> fresh = std::move(pending_);
-      pending_.clear();
-      inbox.reserve(fresh.size());
-      for (std::size_t i = 0; i < fresh.size(); ++i) {
-        Message& m = fresh[i];
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const MessagePool::Handle h = pending_[i];
+        Message& m = pool_.get(h);
         auto& sender = stats_[static_cast<std::size_t>(m.from)];
         if (faults_.crashed(m.to, round)) {
           ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
-          traceMessage("XC", round, m);
+          traceMessage(trace_, "XC", round, m);
+          pool_.release(h);
           continue;
         }
         if (m.link == Link::LongRange && faults_.blackedOut(round)) {
           ++sender.droppedLongRange;
-          traceMessage("XB", round, m);
+          traceMessage(trace_, "XB", round, m);
+          pool_.release(h);
           continue;
         }
         int delayRounds = 0;
         switch (faults_.decide(round, i, m, &delayRounds)) {
           case FaultAction::Drop:
             ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
-            traceMessage("XD", round, m);
+            traceMessage(trace_, "XD", round, m);
+            pool_.release(h);
             break;
           case FaultAction::Duplicate:
             ++sender.duplicated;
-            traceMessage("DU", round, m);
-            inbox.push_back(m);
-            inbox.push_back(std::move(m));
+            traceMessage(trace_, "DU", round, m);
+            inbox_.push_back(h);
+            inbox_.push_back(h);
             break;
           case FaultAction::Delay:
             ++sender.delayed;
-            traceMessage("DL", round, m);
-            delayed_.emplace_back(round + delayRounds, std::move(m));
+            traceMessage(trace_, "DL", round, m);
+            delayed_.emplace_back(round + delayRounds, h);
             break;
           case FaultAction::Deliver:
-            inbox.push_back(std::move(m));
+            inbox_.push_back(h);
             break;
         }
       }
+      pending_.clear();
       // Deferred messages whose delay expired join the round's mailbox;
       // their fate was decided when they were first deferred. A message
       // cannot outlive its receiver: crashes still apply at delivery.
-      std::vector<std::pair<int, Message>> still;
-      for (auto& [due, m] : delayed_) {
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < delayed_.size(); ++i) {
+        const auto [due, h] = delayed_[i];
         if (due > round) {
-          still.emplace_back(due, std::move(m));
-        } else if (faults_.crashed(m.to, round)) {
-          auto& sender = stats_[static_cast<std::size_t>(m.from)];
-          ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
-          traceMessage("XC", round, m);
+          delayed_[keep++] = {due, h};
         } else {
-          inbox.push_back(std::move(m));
+          Message& m = pool_.get(h);
+          if (faults_.crashed(m.to, round)) {
+            auto& sender = stats_[static_cast<std::size_t>(m.from)];
+            ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
+            traceMessage(trace_, "XC", round, m);
+            pool_.release(h);
+          } else {
+            inbox_.push_back(h);
+          }
         }
       }
-      delayed_ = std::move(still);
+      delayed_.resize(keep);
     } else {
-      inbox = std::move(pending_);
-      pending_.clear();
+      inbox_.swap(pending_);
     }
-    // Deterministic delivery order: by recipient, then sender.
-    std::stable_sort(inbox.begin(), inbox.end(), [](const Message& a, const Message& b) {
-      return a.to != b.to ? a.to < b.to : a.from < b.from;
+    if (!inbox_.empty()) {
+      sortInbox();
+      const std::size_t mcount = inbox_.size();
+      util::parallelChunks(n, threads, [&](std::size_t b, std::size_t e, unsigned c) {
+        ChunkBuf& cb = chunks_[c];
+        // Locate this chunk's slice of the recipient-sorted inbox (the
+        // packed sort keys carry the recipient in their high half).
+        std::size_t idx = static_cast<std::size_t>(
+            std::lower_bound(keys_.begin(), keys_.end(), b,
+                             [](std::uint64_t k, std::size_t v) {
+                               return static_cast<std::size_t>(k >> 32) < v;
+                             }) -
+            keys_.begin());
+        for (; idx < mcount; ++idx) {
+          const Message& m = pool_.get(inbox_[idx]);
+          if (static_cast<std::size_t>(m.to) >= e) break;
+          if (idx + 1 < mcount) {
+            __builtin_prefetch(&pool_.get(inbox_[idx + 1]));
+          }
+          // The receiver learns the sender and all introduced IDs. Ad hoc
+          // senders are UDG neighbors, which the receiver knows from
+          // initialization — skip that redundant set lookup.
+          if (m.link != Link::AdHoc) introduce(m.to, m.from);
+          for (int id : m.ids) introduce(m.to, id);
+          stats_[static_cast<std::size_t>(m.to)].receivedWords +=
+              static_cast<long>(m.words());
+          if (traceEnabled_) traceMessage(cb.trace, "RX", round, m);
+          Context ctx(*this, m.to, round, serial ? nullptr : &cb.outbox);
+          protocol.onMessage(ctx, m);
+          if (serial &&
+              (idx + 1 >= mcount || inbox_[idx + 1] != inbox_[idx])) {
+            // Serial runs recycle each slot the moment its delivery (and,
+            // for a fault duplicate, its second delivery) is done: the
+            // next handler's sends then reuse a cache-hot slot. `m` is
+            // dead past this point.
+            pool_.release(inbox_[idx]);
+          }
+        }
+      });
+      if (!serial) releaseInbox();
+      mergeChunks();
+      inbox_.clear();
+    }
+    util::parallelChunks(n, threads, [&](std::size_t b, std::size_t e, unsigned c) {
+      ChunkBuf& cb = chunks_[c];
+      for (std::size_t v = b; v < e; ++v) {
+        if (faulty && faults_.crashed(static_cast<int>(v), round)) continue;
+        Context ctx(*this, static_cast<int>(v), round, serial ? nullptr : &cb.outbox);
+        protocol.onRoundEnd(ctx);
+      }
     });
-    for (const Message& m : inbox) {
-      // The receiver learns the sender and all introduced IDs.
-      introduce(m.to, m.from);
-      for (int id : m.ids) introduce(m.to, id);
-      stats_[static_cast<std::size_t>(m.to)].receivedWords += static_cast<long>(m.words());
-      traceMessage("RX", round, m);
-      Context ctx(*this, m.to, round);
-      protocol.onMessage(ctx, m);
-    }
-    for (int v = 0; v < static_cast<int>(numNodes()); ++v) {
-      if (faulty && faults_.crashed(v, round)) continue;
-      Context ctx(*this, v, round);
-      protocol.onRoundEnd(ctx);
-    }
+    mergeChunks();
   }
   lastRounds_ = round;
   budget_.roundsUsed = round;

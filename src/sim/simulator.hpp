@@ -3,39 +3,15 @@
 #include <cstdint>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/message.hpp"
+#include "sim/message_pool.hpp"
 
 namespace hybrid::sim {
-
-/// Which kind of link carries a message (paper section 1.1).
-enum class Link {
-  AdHoc,      ///< WiFi edge of the unit disk graph (free, short range).
-  LongRange,  ///< Cellular/satellite link; requires knowing the target ID.
-};
-
-/// A message in flight. Payloads are plain words; `ids` additionally
-/// carries node IDs, which the receiver learns on delivery (the paper's
-/// ID-introduction primitive is "send an ID over an edge of E").
-struct Message {
-  int from = -1;
-  int to = -1;
-  Link link = Link::AdHoc;
-  int type = 0;                     ///< Protocol-defined tag.
-  std::vector<std::int64_t> ints;   ///< Integer payload words.
-  std::vector<double> reals;        ///< Real-valued payload words.
-  std::vector<int> ids;             ///< Node IDs introduced to the receiver.
-
-  /// Reliable-transport header (protocols/reliable.hpp). relSeq >= 0 marks
-  /// an acknowledged data message; relCtl marks the ack itself. Plain
-  /// protocols leave both untouched.
-  int relSeq = -1;
-  bool relCtl = false;
-
-  std::size_t words() const { return ints.size() + reals.size() + ids.size() + 1; }
-};
 
 /// Per-node traffic and fault accounting. Fault counters are charged to
 /// the *sender* of the affected message.
@@ -60,7 +36,9 @@ struct RoundBudgetReport {
 };
 
 /// Observes (and may swallow) every protocol send before it is queued.
-/// The reliable transport registers one to attach sequence numbers.
+/// The reliable transport registers one to attach sequence numbers. Taps
+/// run at outbox-merge time, on the simulator's driving thread, in
+/// deterministic send order — never concurrently.
 class SendTap {
  public:
   virtual ~SendTap() = default;
@@ -83,10 +61,19 @@ class Protocol;
 /// per-message drop/duplicate/delay on the ad hoc channel, long-range
 /// drops and blackouts, and node crash/recover intervals. With no plan
 /// (or an all-zero one) the simulator is exactly the loss-free model.
+///
+/// Hot-path layout (see docs/PROTOCOLS.md, "Simulator internals"): in-flight
+/// messages live in a slab/freelist MessagePool and circulate as 32-bit
+/// handles; delivery order is established by a stable two-pass counting
+/// sort (by sender, then recipient) in O(m + n) instead of an O(m log m)
+/// comparison sort; and node stepping may run on the persistent
+/// util::ThreadPool with per-chunk outboxes and trace buffers merged in
+/// chunk order, which keeps any thread count bit-identical to serial.
 class Simulator {
  public:
   explicit Simulator(const graph::GeometricGraph& udg);
   Simulator(const graph::GeometricGraph& udg, FaultPlan faults);
+  ~Simulator();
 
   const graph::GeometricGraph& udg() const { return udg_; }
   std::size_t numNodes() const { return udg_.numNodes(); }
@@ -113,6 +100,18 @@ class Simulator {
   void setFaultPlan(FaultPlan faults) { faults_ = std::move(faults); }
   const FaultPlan& faultPlan() const { return faults_; }
 
+  /// Worker threads for node stepping: 1 (default) steps nodes serially
+  /// and is safe for any protocol; 0 resolves to the hardware concurrency.
+  /// Runs are bit-identical across thread counts — traces, stats, fault
+  /// schedules and delivery order included — because per-chunk outboxes
+  /// and trace buffers are merged in chunk (= node) order and per-round
+  /// send indices are assigned at merge time, on the driving thread.
+  /// Protocols stepped with threads > 1 must keep per-node state only (as
+  /// a distributed protocol does by definition): onStart/onMessage/
+  /// onRoundEnd for *different* nodes run concurrently.
+  void setThreads(int threads) { threads_ = threads; }
+  int threads() const { return threads_; }
+
   /// Sets the per-run round allowance; run() never stops early because of
   /// it, but budgetReport() flags the overrun afterwards.
   void setRoundBudget(int rounds) { budget_.budget = rounds; }
@@ -124,21 +123,40 @@ class Simulator {
 
   /// Records every delivery and fault event of subsequent runs into an
   /// append-only text trace. Two runs with equal seeds and protocols must
-  /// produce byte-identical traces (enforced by fault_injection_test).
+  /// produce byte-identical traces (enforced by fault_injection_test), at
+  /// any thread count (enforced by sim_threads_test).
   void enableTrace(bool on = true) { traceEnabled_ = on; }
   const std::string& trace() const { return trace_; }
   void clearTrace() { trace_.clear(); }
 
  private:
   friend class Context;
-  void enqueue(Message m);
-  void traceMessage(const char* tag, int round, const Message& m);
+
+  /// Per-chunk staging for the parallel sections: sends and trace lines
+  /// buffer here and are merged in chunk order on the driving thread.
+  struct ChunkBuf {
+    std::vector<Message> outbox;
+    std::string trace;
+  };
+
+  /// Tap + stats + pool admission for one staged send (merge time).
+  void finishSend(Message&& m);
+  /// Drains every chunk's trace buffer, then outbox, in chunk order.
+  void mergeChunks();
+  /// Stable counting sort of inbox_ into (recipient, sender, send-index)
+  /// order; falls back to an in-place insertion sort for tiny rounds.
+  void sortInbox();
+  /// Releases delivered handles (duplicates released once).
+  void releaseInbox();
+  void releaseAllInFlight();
+  void traceMessage(std::string& out, const char* tag, int round, const Message& m);
 
   const graph::GeometricGraph& udg_;
   std::vector<std::unordered_set<int>> knowledge_;
-  std::vector<Message> pending_;
+  MessagePool pool_;
+  std::vector<MessagePool::Handle> pending_;  ///< Next round's mail, send order.
   /// Messages deferred by the fault layer, with their due round.
-  std::vector<std::pair<int, Message>> delayed_;
+  std::vector<std::pair<int, MessagePool::Handle>> delayed_;
   std::vector<NodeStats> stats_;
   FaultPlan faults_;
   RoundBudgetReport budget_;
@@ -147,13 +165,26 @@ class Simulator {
   std::string trace_;
   int lastRounds_ = 0;
   int round_ = 0;
+  int threads_ = 1;
+
+  // Round-scratch buffers; capacity recycles across rounds.
+  std::vector<MessagePool::Handle> inbox_;
+  std::vector<MessagePool::Handle> sortTmp_;
+  std::vector<std::uint64_t> keys_;    ///< (to << 32 | from), aligned with inbox_.
+  std::vector<std::uint64_t> keyTmp_;  ///< Aligned with sortTmp_.
+  std::vector<std::uint32_t> counts_;
+  std::vector<ChunkBuf> chunks_;
 };
 
 /// Handle through which protocol code interacts with the simulator for one
-/// node within one round.
+/// node within one round. Sends stage into the chunk-local outbox and the
+/// simulator admits them (tap, stats, pool) at merge time in send order;
+/// in serial runs outbox is null and sends are admitted immediately, which
+/// is the same order without the staging move.
 class Context {
  public:
-  Context(Simulator& sim, int self, int round) : sim_(sim), self_(self), round_(round) {}
+  Context(Simulator& sim, int self, int round, std::vector<Message>* outbox)
+      : sim_(sim), self_(self), round_(round), outbox_(outbox) {}
 
   int self() const { return self_; }
   int round() const { return round_; }
@@ -172,11 +203,14 @@ class Context {
   Simulator& sim_;
   int self_;
   int round_;
+  std::vector<Message>* outbox_;
 };
 
 /// A distributed protocol: per-node event handlers. Handlers may send
 /// messages; sends made while processing round i are delivered in round
-/// i+1. State is owned by the protocol object (indexed by node).
+/// i+1. State is owned by the protocol object (indexed by node). Keep the
+/// state strictly per-node if the protocol should support multi-threaded
+/// stepping (Simulator::setThreads).
 class Protocol {
  public:
   virtual ~Protocol() = default;

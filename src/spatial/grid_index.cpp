@@ -31,10 +31,38 @@ std::vector<int> GridIndex::queryRadius(geom::Vec2 center, double radius) const 
   const auto cx = static_cast<std::int64_t>(std::floor(center.x / cell_));
   const auto cy = static_cast<std::int64_t>(std::floor(center.y / cell_));
   const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
+  if (reach == 1) {
+    // Common case (cell size == radius): gather the <= 9 candidate cells
+    // first so the result can be reserved once, then filter by distance.
+    const std::vector<int>* cand[9];
+    std::size_t ncand = 0;
+    std::size_t total = 0;
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      // The x-axis half of the packed key is loop-invariant per column.
+      const std::int64_t colBits = (cx + dx + 0x40000000LL) << 32;
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells_.find(colBits | ((cy + dy + 0x40000000LL) & 0xFFFFFFFFLL));
+        if (it == cells_.end()) continue;
+        cand[ncand++] = &it->second;
+        total += it->second.size();
+      }
+    }
+    out.reserve(total);
+    for (std::size_t k = 0; k < ncand; ++k) {
+      for (int i : *cand[k]) {
+        if (geom::dist2(points_[static_cast<std::size_t>(i)], center) <= r2) {
+          out.push_back(i);
+        }
+      }
+    }
+    return out;
+  }
   for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+    const std::int64_t colBits = (cx + dx + 0x40000000LL) << 32;
     for (std::int64_t dy = -reach; dy <= reach; ++dy) {
-      const auto it = cells_.find(packCell(cx + dx, cy + dy));
+      const auto it = cells_.find(colBits | ((cy + dy + 0x40000000LL) & 0xFFFFFFFFLL));
       if (it == cells_.end()) continue;
+      out.reserve(out.size() + it->second.size());
       for (int i : it->second) {
         if (geom::dist2(points_[static_cast<std::size_t>(i)], center) <= r2) {
           out.push_back(i);

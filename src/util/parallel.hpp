@@ -1,11 +1,10 @@
 #pragma once
 
 #include <algorithm>
-#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace hybrid::util {
 
@@ -18,44 +17,36 @@ inline unsigned resolveThreads(int requested) {
 }
 
 /// Runs fn(begin, end, chunkIndex) over contiguous chunks of [0, n) on
-/// `threads` workers. Chunking is deterministic: merging per-chunk results
-/// in chunk order reproduces the sequential order, so parallel builds stay
-/// bit-identical to serial ones.
+/// `threads` workers of the persistent process-wide ThreadPool. Chunking is
+/// deterministic: chunk c covers [c*ceil(n/threads), ...), so merging
+/// per-chunk results in chunk order reproduces the sequential order and
+/// parallel builds stay bit-identical to serial ones at any thread count.
 ///
-/// A throwing worker does not std::terminate the process: the first
-/// exception (in chunk order, for determinism) is captured and rethrown on
-/// the calling thread after every worker joined.
-inline void parallelChunks(std::size_t n, unsigned threads,
-                           const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
-  threads = std::max(1u, std::min<unsigned>(threads, n == 0 ? 1 : static_cast<unsigned>(n)));
-  if (threads == 1 || n < 256) {
-    fn(0, n, 0);
+/// An explicit `threads` request is honored for any n (capped at n): small
+/// inputs no longer fall back to a silent serial path, so pool bugs cannot
+/// hide from tests. threads <= 1 (or n == 0) runs inline on the caller.
+///
+/// A throwing chunk does not take the process down: every chunk still
+/// runs, and the first exception in chunk-index order is rethrown on the
+/// calling thread (deterministic, whatever the threads' finishing order).
+template <typename F>
+inline void parallelChunks(std::size_t n, unsigned threads, F&& fn) {
+  threads = std::max<unsigned>(
+      1u, std::min<unsigned>(threads, n == 0 ? 1u
+                                             : static_cast<unsigned>(std::min<std::size_t>(
+                                                   n, ThreadPool::kMaxWorkers + 1))));
+  if (threads == 1) {
+    fn(static_cast<std::size_t>(0), n, 0u);
     return;
   }
   const std::size_t chunk = (n + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  std::mutex errMutex;
-  std::exception_ptr firstError;
-  unsigned firstErrorChunk = 0;
-  for (unsigned t = 0; t < threads; ++t) {
+  const auto tasks = static_cast<unsigned>((n + chunk - 1) / chunk);
+  const std::function<void(unsigned)> task = [&fn, n, chunk](unsigned t) {
     const std::size_t begin = std::min(n, static_cast<std::size_t>(t) * chunk);
     const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&fn, &errMutex, &firstError, &firstErrorChunk, begin, end, t] {
-      try {
-        fn(begin, end, t);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(errMutex);
-        if (firstError == nullptr || t < firstErrorChunk) {
-          firstError = std::current_exception();
-          firstErrorChunk = t;
-        }
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  if (firstError != nullptr) std::rethrow_exception(firstError);
+    if (begin < end) fn(begin, end, t);
+  };
+  ThreadPool::global().run(tasks, task);
 }
 
 }  // namespace hybrid::util

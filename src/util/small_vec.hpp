@@ -1,0 +1,154 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace hybrid::util {
+
+namespace detail {
+/// Counts every heap allocation any SmallVec performs (spills past the
+/// inline capacity). The message-pool test reads the delta across simulated
+/// rounds to prove the pooled hot path reaches allocation-free steady state.
+inline std::atomic<long>& smallVecHeapAllocs() {
+  static std::atomic<long> count{0};
+  return count;
+}
+}  // namespace detail
+
+/// Small-buffer-optimized vector for trivially copyable payload words.
+/// The first N elements live inside the object, so typical protocol
+/// messages (a handful of words) never touch the heap; longer payloads
+/// spill to a geometrically grown heap buffer.
+///
+/// Two properties matter for the simulator's message pool:
+///  - clear() keeps the capacity, so a recycled slot retains whatever
+///    buffer its worst message ever needed;
+///  - move-assignment from an inline-resident source copies into the
+///    destination's existing storage instead of discarding it, so moving a
+///    small message into a pooled slot never frees or allocates.
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(N > 0);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> xs) { assign(xs.begin(), xs.end()); }
+  SmallVec(const SmallVec& o) { assign(o.data(), o.data() + o.size_); }
+  SmallVec(SmallVec&& o) noexcept { moveFrom(o); }
+  ~SmallVec() {
+    if (heap_ != nullptr) ::operator delete(heap_);
+  }
+
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) assign(o.data(), o.data() + o.size_);
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) moveFrom(o);
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> xs) {
+    assign(xs.begin(), xs.end());
+    return *this;
+  }
+  SmallVec& operator=(const std::vector<T>& v) {
+    assign(v.data(), v.data() + v.size());
+    return *this;
+  }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return heap_ != nullptr ? cap_ : N; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t want) {
+    if (want <= capacity()) return;
+    const std::size_t doubled = capacity() * 2;
+    const std::size_t cap = doubled < want ? want : doubled;
+    T* buf = static_cast<T*>(::operator new(cap * sizeof(T)));
+    detail::smallVecHeapAllocs().fetch_add(1, std::memory_order_relaxed);
+    std::memcpy(buf, data(), size_ * sizeof(T));
+    if (heap_ != nullptr) ::operator delete(heap_);
+    heap_ = buf;
+    cap_ = cap;
+  }
+
+  void push_back(T x) {
+    if (size_ == capacity()) reserve(size_ + 1);
+    data()[size_++] = x;
+  }
+
+  void resize(std::size_t n) {
+    reserve(n);
+    T* d = data();
+    for (std::size_t i = size_; i < n; ++i) d[i] = T{};
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    reserve(n);
+    T* d = data();
+    for (std::size_t i = 0; i < n; ++i) d[i] = first[i];
+    size_ = n;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data()[i] == b.data()[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void moveFrom(SmallVec& o) noexcept {
+    if (o.heap_ != nullptr) {
+      if (heap_ != nullptr) ::operator delete(heap_);
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.size_ = 0;
+    } else {
+      // Source fits inline: copy into whatever storage we already own so a
+      // recycled slot keeps its capacity.
+      std::memcpy(data(), o.inline_, o.size_ * sizeof(T));
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  T inline_[N];
+};
+
+}  // namespace hybrid::util

@@ -1,0 +1,107 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hybrid::util {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers > 0) ensureWorkers(std::min(workers, kMaxWorkers));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+unsigned ThreadPool::workerCount() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return static_cast<unsigned>(workers_.size());
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::execute(Job& job) {
+  for (;;) {
+    const unsigned t = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= job.tasks) return;
+    try {
+      (*job.fn)(t);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.m);
+      if (job.error == nullptr || t < job.errorTask) {
+        job.error = std::current_exception();
+        job.errorTask = t;
+      }
+    }
+    if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task: wake the submitter. Taking the job mutex orders the
+      // notify after the waiter's predicate check, so no wakeup is lost.
+      const std::lock_guard<std::mutex> lock(job.m);
+      job.done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ensureWorkers(unsigned want) {
+  want = std::min(want, kMaxWorkers);
+  const std::lock_guard<std::mutex> lock(m_);
+  while (workers_.size() < want) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    execute(*job);
+  }
+}
+
+void ThreadPool::run(unsigned tasks, const std::function<void(unsigned)>& fn) {
+  if (tasks == 0) return;
+  if (tasks == 1) {
+    fn(0);
+    return;
+  }
+  // One job at a time: concurrent submitters queue up here instead of
+  // corrupting each other's generation counters.
+  const std::lock_guard<std::mutex> runLock(runMutex_);
+  ensureWorkers(tasks - 1);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->tasks = tasks;
+  job->pending.store(tasks, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    job_ = job;
+    ++generation_;
+  }
+  cv_.notify_all();
+  execute(*job);  // the caller works too
+  {
+    std::unique_lock<std::mutex> lock(job->m);
+    job->done.wait(lock, [&] { return job->pending.load(std::memory_order_acquire) == 0; });
+  }
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    job_ = nullptr;
+  }
+  if (job->error != nullptr) std::rethrow_exception(job->error);
+}
+
+}  // namespace hybrid::util

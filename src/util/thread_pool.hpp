@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hybrid::util {
+
+/// Persistent worker pool replacing the per-call std::thread spawning the
+/// simulator, LDel construction and benches used to pay every invocation.
+/// Workers are created lazily (up to the largest parallelism ever
+/// requested, capped) and then sleep on a condition variable between jobs.
+///
+/// run(tasks, fn) executes fn(t) exactly once for every t in [0, tasks).
+/// The calling thread participates, so a pool with w workers serves
+/// (w + 1)-way parallelism. Task indices are handed out dynamically, which
+/// is safe for determinism as long as callers merge per-task results by
+/// task index, never by completion order (the parallelChunks convention).
+///
+/// Exceptions thrown by tasks are captured; after every task finished, the
+/// one with the lowest task index is rethrown on the calling thread, so
+/// the error a caller sees does not depend on thread scheduling.
+class ThreadPool {
+ public:
+  /// `workers` is the number of extra threads to keep around; 0 means
+  /// "grow on demand" up to kMaxWorkers as run() asks for parallelism.
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void run(unsigned tasks, const std::function<void(unsigned)>& fn);
+
+  unsigned workerCount() const;
+
+  /// The process-wide pool shared by the simulator, LDel and benches.
+  static ThreadPool& global();
+
+  static constexpr unsigned kMaxWorkers = 64;
+
+ private:
+  struct Job {
+    const std::function<void(unsigned)>* fn = nullptr;
+    unsigned tasks = 0;
+    std::atomic<unsigned> next{0};
+    std::atomic<unsigned> pending{0};
+    std::mutex m;
+    std::condition_variable done;
+    std::exception_ptr error;
+    unsigned errorTask = 0;
+  };
+
+  static void execute(Job& job);
+  void ensureWorkers(unsigned want);
+  void workerLoop();
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+  std::mutex runMutex_;
+};
+
+}  // namespace hybrid::util

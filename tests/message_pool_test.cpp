@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "delaunay/udg.hpp"
+#include "sim/message_pool.hpp"
+#include "sim/simulator.hpp"
+#include "util/small_vec.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator: proves the simulator's steady-state rounds are
+// allocation-free. Sanitizer builds replace the allocator themselves, so the
+// override (and the strict zero-allocation assertions) are compiled out there.
+// ---------------------------------------------------------------------------
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define POOL_TEST_COUNTS_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define POOL_TEST_COUNTS_ALLOCS 0
+#else
+#define POOL_TEST_COUNTS_ALLOCS 1
+#endif
+#else
+#define POOL_TEST_COUNTS_ALLOCS 1
+#endif
+
+#if POOL_TEST_COUNTS_ALLOCS
+namespace {
+std::atomic<long> g_heapAllocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) {
+  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#endif  // POOL_TEST_COUNTS_ALLOCS
+
+namespace hybrid::sim {
+namespace {
+
+TEST(MessagePool, AcquireReturnsCleanSlots) {
+  MessagePool pool;
+  const auto h = pool.acquire();
+  Message& m = pool.get(h);
+  EXPECT_EQ(m.from, -1);
+  EXPECT_EQ(m.to, -1);
+  EXPECT_TRUE(m.ints.empty());
+  EXPECT_TRUE(m.reals.empty());
+  EXPECT_TRUE(m.ids.empty());
+  EXPECT_EQ(pool.liveCount(), 1u);
+  pool.release(h);
+  EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(MessagePool, ReleaseRecyclesSlotsLifo) {
+  MessagePool pool;
+  const auto a = pool.acquire();
+  const auto b = pool.acquire();
+  EXPECT_NE(a, b);
+  pool.release(b);
+  pool.release(a);
+  // LIFO: the most recently released slot (a) comes back first, and no new
+  // slot is created.
+  EXPECT_EQ(pool.acquire(), a);
+  EXPECT_EQ(pool.acquire(), b);
+  EXPECT_EQ(pool.slotCount(), 2u);
+}
+
+TEST(MessagePool, RecycledSlotKeepsPayloadCapacity) {
+  MessagePool pool;
+  const auto h = pool.acquire();
+  {
+    Message& m = pool.get(h);
+    for (int i = 0; i < 100; ++i) m.ints.push_back(i);  // spill to heap
+    ASSERT_GE(m.ints.capacity(), 100u);
+  }
+  pool.release(h);
+  const auto h2 = pool.acquire();
+  ASSERT_EQ(h2, h);
+  Message& m = pool.get(h2);
+  // The slot came back empty but with the heap buffer intact: refilling to
+  // the previous size performs no SmallVec allocation.
+  EXPECT_TRUE(m.ints.empty());
+  EXPECT_GE(m.ints.capacity(), 100u);
+  const long before = util::detail::smallVecHeapAllocs().load();
+  for (int i = 0; i < 100; ++i) m.ints.push_back(i);
+  EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), before);
+  pool.release(h2);
+}
+
+TEST(MessagePool, LiveSlotsNeverAlias) {
+  MessagePool pool;
+  // Spans several slabs (256 slots each).
+  std::vector<MessagePool::Handle> hs;
+  for (int i = 0; i < 600; ++i) hs.push_back(pool.acquire());
+  EXPECT_GE(pool.slabsAllocated(), 3l);
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    pool.get(hs[i]).from = static_cast<int>(i);
+    pool.get(hs[i]).ints = {static_cast<std::int64_t>(i)};
+  }
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    EXPECT_EQ(pool.get(hs[i]).from, static_cast<int>(i));
+    ASSERT_EQ(pool.get(hs[i]).ints.size(), 1u);
+    EXPECT_EQ(pool.get(hs[i]).ints[0], static_cast<std::int64_t>(i));
+  }
+  for (const auto h : hs) pool.release(h);
+}
+
+TEST(MessagePool, SlotAddressesAreStableAcrossGrowth) {
+  MessagePool pool;
+  const auto h = pool.acquire();
+  const Message* addr = &pool.get(h);
+  for (int i = 0; i < 2000; ++i) pool.acquire();  // force many new slabs
+  EXPECT_EQ(&pool.get(h), addr);
+}
+
+// Every node gossips a fixed 3-word message to each UDG neighbor every
+// round. Per-node state is a plain int, so the protocol itself performs no
+// allocations after construction and is safe at any thread count.
+class GossipProtocol : public Protocol {
+ public:
+  explicit GossipProtocol(int rounds) : rounds_(rounds) {}
+
+  void onStart(Context& ctx) override { blast(ctx); }
+  void onMessage(Context&, const Message&) override {}
+  void onRoundEnd(Context& ctx) override {
+    if (ctx.round() < rounds_) blast(ctx);
+  }
+  bool wantsMoreRounds() const override { return false; }
+
+ private:
+  void blast(Context& ctx) {
+    for (int nb : ctx.udgNeighbors()) {
+      Message m;
+      m.type = 7;
+      m.ints = {1, 2};
+      m.reals = {3.5};
+      ctx.sendAdHoc(nb, std::move(m));
+    }
+  }
+  int rounds_;
+};
+
+graph::GeometricGraph gridGraph(int side) {
+  std::vector<geom::Vec2> pts;
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      pts.push_back({static_cast<double>(x) * 0.9, static_cast<double>(y) * 0.9});
+    }
+  }
+  return delaunay::buildUnitDiskGraph(pts, 1.0);
+}
+
+TEST(MessagePool, SimulatorReachesAllocationFreeSteadyState) {
+  const auto g = gridGraph(8);
+  Simulator sim(g);
+
+  // Warm-up run: grows the pool, payload capacities, scratch buffers and
+  // the nodes' knowledge sets to their steady-state footprint.
+  GossipProtocol warm(20);
+  sim.run(warm);
+
+  const long smallVecBefore = util::detail::smallVecHeapAllocs().load();
+#if POOL_TEST_COUNTS_ALLOCS
+  const long heapBefore = g_heapAllocs.load(std::memory_order_relaxed);
+#endif
+
+  GossipProtocol measured(20);
+  sim.run(measured);
+
+  // No SmallVec spilled: pooled slots and stack messages reused capacity.
+  EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), smallVecBefore);
+#if POOL_TEST_COUNTS_ALLOCS
+  // The whole second run — 20 rounds, every node sending to every neighbor
+  // every round — touched the heap zero times.
+  EXPECT_EQ(g_heapAllocs.load(std::memory_order_relaxed), heapBefore);
+#endif
+}
+
+}  // namespace
+}  // namespace hybrid::sim

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "delaunay/udg.hpp"
+#include "protocols/reliable.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace hybrid::sim {
+namespace {
+
+graph::GeometricGraph gridGraph(int side) {
+  std::vector<geom::Vec2> pts;
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      pts.push_back({0.9 * x, 0.9 * y});
+    }
+  }
+  return delaunay::buildUnitDiskGraph(pts, 1.0);
+}
+
+// Thread-compatible workload (strictly per-node state) that exercises every
+// send path: ad hoc gossip with ID introductions in onStart/onRoundEnd, and
+// long-range replies out of onMessage once IDs have been learned.
+class MixProtocol : public Protocol {
+ public:
+  explicit MixProtocol(std::size_t n, int rounds)
+      : rounds_(rounds), heard_(n, 0) {}
+
+  void onStart(Context& ctx) override { gossip(ctx); }
+
+  void onMessage(Context& ctx, const Message& m) override {
+    auto& h = heard_[static_cast<std::size_t>(ctx.self())];
+    ++h;
+    if (m.type == kGossip && !m.ids.empty() && h % 3 == 0) {
+      const int target = m.ids.back();
+      if (target != ctx.self() && ctx.knows(target)) {
+        Message reply;
+        reply.type = kReply;
+        reply.ints = {static_cast<std::int64_t>(ctx.self()), h};
+        ctx.sendLongRange(target, std::move(reply));
+      }
+    }
+  }
+
+  void onRoundEnd(Context& ctx) override {
+    if (ctx.round() < rounds_) gossip(ctx);
+  }
+
+  long totalHeard() const {
+    long t = 0;
+    for (long h : heard_) t += h;
+    return t;
+  }
+
+ private:
+  static constexpr int kGossip = 1;
+  static constexpr int kReply = 2;
+
+  void gossip(Context& ctx) {
+    const auto nbs = ctx.udgNeighbors();
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      Message m;
+      m.type = kGossip;
+      m.ints = {static_cast<std::int64_t>(ctx.round())};
+      m.reals = {ctx.position().x};
+      // Introduce the next neighbor around: grows the knowledge graph so
+      // long-range sends become possible.
+      m.ids.push_back(nbs[(i + 1) % nbs.size()]);
+      ctx.sendAdHoc(nbs[i], std::move(m));
+    }
+  }
+
+  int rounds_;
+  std::vector<long> heard_;
+};
+
+FaultConfig lossyConfig() {
+  FaultConfig cfg;
+  cfg.seed = 20260806;
+  cfg.adHocDrop = 0.08;
+  cfg.adHocDuplicate = 0.05;
+  cfg.adHocDelay = 0.07;
+  cfg.longRangeDrop = 0.10;
+  cfg.maxDelayRounds = 3;
+  cfg.crashes.push_back({5, 2, 6});
+  cfg.crashes.push_back({17, 4, 9});
+  cfg.blackouts.push_back({3, 5});
+  return cfg;
+}
+
+struct RunResult {
+  std::string trace;
+  long totalMessages = 0;
+  long totalDropped = 0;
+  long heard = 0;
+  int rounds = 0;
+};
+
+RunResult runAt(int threads, const FaultConfig* faults) {
+  const auto g = gridGraph(6);
+  Simulator sim = faults != nullptr ? Simulator(g, FaultPlan(*faults)) : Simulator(g);
+  sim.setThreads(threads);
+  sim.enableTrace();
+  MixProtocol proto(g.numNodes(), 8);
+  RunResult r;
+  r.rounds = sim.run(proto, 200);
+  r.trace = sim.trace();
+  r.totalMessages = sim.totalMessages();
+  r.totalDropped = sim.totalDropped();
+  r.heard = proto.totalHeard();
+  return r;
+}
+
+TEST(SimThreads, TraceIsByteIdenticalAcrossThreadCounts) {
+  const RunResult serial = runAt(1, nullptr);
+  ASSERT_FALSE(serial.trace.empty());
+  for (const int t : {2, 8}) {
+    const RunResult parallel = runAt(t, nullptr);
+    EXPECT_EQ(parallel.trace, serial.trace) << "threads=" << t;
+    EXPECT_EQ(parallel.totalMessages, serial.totalMessages);
+    EXPECT_EQ(parallel.heard, serial.heard);
+    EXPECT_EQ(parallel.rounds, serial.rounds);
+  }
+}
+
+TEST(SimThreads, FaultScheduleIsByteIdenticalAcrossThreadCounts) {
+  const FaultConfig cfg = lossyConfig();
+  const RunResult serial = runAt(1, &cfg);
+  ASSERT_FALSE(serial.trace.empty());
+  EXPECT_GT(serial.totalDropped, 0);  // the plan actually bites
+  for (const int t : {2, 8}) {
+    const RunResult parallel = runAt(t, &cfg);
+    EXPECT_EQ(parallel.trace, serial.trace) << "threads=" << t;
+    EXPECT_EQ(parallel.totalMessages, serial.totalMessages);
+    EXPECT_EQ(parallel.totalDropped, serial.totalDropped);
+    EXPECT_EQ(parallel.heard, serial.heard);
+    EXPECT_EQ(parallel.rounds, serial.rounds);
+  }
+}
+
+TEST(SimThreads, ReliableTransportMatchesAcrossThreadCounts) {
+  // The ARQ wrapper (SendTap + per-node transport state) under a lossy plan
+  // is the most stateful client of the merge-time send path.
+  const FaultConfig cfg = lossyConfig();
+  std::string traces[3];
+  long retrans[3];
+  int i = 0;
+  for (const int t : {1, 2, 8}) {
+    const auto g = gridGraph(5);
+    Simulator sim(g, FaultPlan(cfg));
+    sim.setThreads(t);
+    sim.enableTrace();
+    MixProtocol inner(g.numNodes(), 5);
+    protocols::ReliableProtocol rel(sim, inner, {});
+    sim.run(rel, 400);
+    traces[i] = sim.trace();
+    retrans[i] = rel.stats().retransmissions;
+    ++i;
+  }
+  ASSERT_FALSE(traces[0].empty());
+  EXPECT_EQ(traces[1], traces[0]);
+  EXPECT_EQ(traces[2], traces[0]);
+  EXPECT_EQ(retrans[1], retrans[0]);
+  EXPECT_EQ(retrans[2], retrans[0]);
+}
+
+TEST(SimThreads, ThreadsZeroResolvesToHardware) {
+  const auto g = gridGraph(4);
+  Simulator sim(g);
+  sim.setThreads(0);
+  sim.enableTrace();
+  MixProtocol proto(g.numNodes(), 4);
+  sim.run(proto, 100);
+  const std::string hw = sim.trace();
+
+  const RunResult serial = [] {
+    const auto g2 = gridGraph(4);
+    Simulator s(g2);
+    s.enableTrace();
+    MixProtocol p(g2.numNodes(), 4);
+    RunResult r;
+    r.rounds = s.run(p, 100);
+    r.trace = s.trace();
+    return r;
+  }();
+  EXPECT_EQ(hw, serial.trace);
+}
+
+}  // namespace
+}  // namespace hybrid::sim

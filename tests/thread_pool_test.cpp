@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace hybrid::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool;
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(100, [&](unsigned t) { hits[t].fetch_add(1); });
+  for (unsigned t = 0; t < 100; ++t) EXPECT_EQ(hits[t].load(), 1) << t;
+}
+
+TEST(ThreadPool, WorkersPersistAcrossJobs) {
+  ThreadPool pool;
+  std::atomic<long> sum{0};
+  pool.run(8, [&](unsigned t) { sum.fetch_add(t); });
+  const unsigned after = pool.workerCount();
+  for (int i = 0; i < 50; ++i) {
+    pool.run(8, [&](unsigned t) { sum.fetch_add(t); });
+    // Re-running never spawns fresh threads: the whole point of the pool.
+    EXPECT_EQ(pool.workerCount(), after);
+  }
+  EXPECT_EQ(sum.load(), 51l * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(ThreadPool, CallerThreadParticipates) {
+  ThreadPool pool;
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> callerRan{false};
+  // One task, one caller: no worker is needed or woken.
+  pool.run(1, [&](unsigned) {
+    if (std::this_thread::get_id() == caller) callerRan.store(true);
+  });
+  EXPECT_TRUE(callerRan.load());
+  EXPECT_EQ(pool.workerCount(), 0u);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool;
+  int calls = 0;
+  pool.run(0, [&](unsigned) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, LowestTaskIndexExceptionWins) {
+  ThreadPool pool;
+  std::atomic<int> completed{0};
+  try {
+    pool.run(16, [&](unsigned t) {
+      if (t % 2 == 1) throw std::runtime_error("task " + std::to_string(t));
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected run() to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 1");
+  }
+  // Every non-throwing task still ran before the rethrow.
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, UsableAfterAnExceptionJob) {
+  ThreadPool pool;
+  EXPECT_THROW(pool.run(4, [](unsigned) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  std::atomic<int> ok{0};
+  pool.run(4, [&](unsigned) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleInstance) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, ManyTasksAreDistributed) {
+  // More tasks than workers: dynamic pulling must drain them all.
+  ThreadPool pool;
+  std::mutex m;
+  std::set<unsigned> seen;
+  pool.run(1000, [&](unsigned t) {
+    const std::lock_guard<std::mutex> lock(m);
+    seen.insert(t);
+  });
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+}  // namespace
+}  // namespace hybrid::util

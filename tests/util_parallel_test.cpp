@@ -38,16 +38,39 @@ TEST(Parallel, ChunkOrderIsDeterministic) {
   EXPECT_EQ(expectBegin, 5000u);
 }
 
-TEST(Parallel, SmallInputsRunInline) {
-  // Below the threshold a single chunk with index 0 runs.
-  int calls = 0;
+TEST(Parallel, ExplicitThreadCountHonoredForSmallInputs) {
+  // An explicit thread count is honored whatever the input size: 8 chunks
+  // cover [0, 100) exactly once. (Formerly inputs under a size threshold
+  // silently collapsed to one inline call, which made thread counts lie.)
+  std::mutex m;
+  std::vector<std::array<std::size_t, 3>> chunks;
   parallelChunks(100, 8, [&](std::size_t b, std::size_t e, unsigned c) {
-    ++calls;
-    EXPECT_EQ(b, 0u);
-    EXPECT_EQ(e, 100u);
-    EXPECT_EQ(c, 0u);
+    const std::lock_guard<std::mutex> lock(m);
+    chunks.push_back({static_cast<std::size_t>(c), b, e});
   });
-  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(chunks.size(), 8u);
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expectBegin = 0;
+  for (const auto& [c, b, e] : chunks) {
+    EXPECT_EQ(b, expectBegin);
+    EXPECT_GT(e, b);
+    expectBegin = e;
+  }
+  EXPECT_EQ(expectBegin, 100u);
+}
+
+TEST(Parallel, ThreadsNeverExceedElements) {
+  // More threads than elements: every element still visited exactly once,
+  // and no chunk is empty.
+  std::mutex m;
+  std::vector<std::size_t> seen;
+  parallelChunks(3, 16, [&](std::size_t b, std::size_t e, unsigned) {
+    const std::lock_guard<std::mutex> lock(m);
+    for (std::size_t i = b; i < e; ++i) seen.push_back(i);
+    EXPECT_GT(e, b);
+  });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
 }
 
 TEST(Parallel, ZeroElements) {
