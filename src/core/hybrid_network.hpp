@@ -40,7 +40,15 @@ class HybridNetwork {
   /// Builds a router with non-default abstraction/overlay choices.
   std::unique_ptr<routing::HybridRouter> makeRouter(routing::HybridOptions options) const;
 
-  routing::RouteResult route(graph::NodeId s, graph::NodeId t) { return router_->route(s, t); }
+  routing::RouteResult route(graph::NodeId s, graph::NodeId t) const {
+    return router_->route(s, t);
+  }
+
+  /// Batched query serving on the default router (see Router::routeBatch).
+  std::vector<routing::RouteResult> routeBatch(std::span<const routing::RoutePair> pairs,
+                                               int threads = 1) const {
+    return router_->routeBatch(pairs, threads);
+  }
 
   /// Euclidean length of the shortest s-t path in the UDG: the d(s, t) of
   /// the competitive-ratio definition.

@@ -96,8 +96,13 @@ bool Polygon::segmentIntersectsInterior(const Segment& s) const {
   // Collect the parameters along s where it meets the polygon boundary,
   // then test the midpoint of every maximal sub-segment for strict
   // containment. This handles grazing vertices and collinear slides
-  // without case analysis.
-  std::vector<double> params = {0.0, 1.0};
+  // without case analysis. The scratch vector is thread-local so the
+  // visibility checks on the routing hot path stay allocation-free once
+  // its capacity has grown.
+  static thread_local std::vector<double> params;
+  params.clear();
+  params.push_back(0.0);
+  params.push_back(1.0);
   const Vec2 d = s.b - s.a;
   const double len2 = d.norm2();
   for (std::size_t i = 0; i < verts_.size(); ++i) {

@@ -1,0 +1,48 @@
+#include "graph/csr.hpp"
+
+namespace hybrid::graph {
+
+CsrAdjacency buildCsr(const GeometricGraph& g) {
+  const std::size_t n = g.numNodes();
+  CsrAdjacency csr;
+  csr.offsets.resize(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    csr.offsets[v + 1] =
+        csr.offsets[v] + static_cast<std::int32_t>(g.neighbors(static_cast<NodeId>(v)).size());
+  }
+  csr.targets.resize(static_cast<std::size_t>(csr.offsets[n]));
+  csr.weights.resize(csr.targets.size());
+  std::size_t k = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto pv = g.position(static_cast<NodeId>(v));
+    for (NodeId w : g.neighbors(static_cast<NodeId>(v))) {
+      csr.targets[k] = w;
+      csr.weights[k] = geom::dist(pv, g.position(w));
+      ++k;
+    }
+  }
+  return csr;
+}
+
+CsrAdjacency buildCsr(const std::vector<std::vector<int>>& adj,
+                      const std::vector<geom::Vec2>& pos) {
+  const std::size_t n = adj.size();
+  CsrAdjacency csr;
+  csr.offsets.resize(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    csr.offsets[v + 1] = csr.offsets[v] + static_cast<std::int32_t>(adj[v].size());
+  }
+  csr.targets.resize(static_cast<std::size_t>(csr.offsets[n]));
+  csr.weights.resize(csr.targets.size());
+  std::size_t k = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int w : adj[v]) {
+      csr.targets[k] = w;
+      csr.weights[k] = geom::dist(pos[v], pos[static_cast<std::size_t>(w)]);
+      ++k;
+    }
+  }
+  return csr;
+}
+
+}  // namespace hybrid::graph

@@ -1,0 +1,77 @@
+#include "graph/dijkstra_workspace.hpp"
+
+#include <algorithm>
+
+namespace hybrid::graph {
+
+void DijkstraWorkspace::ensureSize(std::size_t n) {
+  if (dist_.size() < n) {
+    dist_.resize(n);
+    pred_.resize(n);
+    stamp_.resize(n, 0);
+  }
+}
+
+void DijkstraWorkspace::run(const CsrAdjacency& g, NodeId source, NodeId target) {
+  const std::size_t n = g.numNodes();
+  ensureSize(n);
+  ++gen_;
+  if (gen_ == 0) {  // stamp wrap-around: re-zero and restart generations
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    gen_ = 1;
+  }
+  heap_.clear();
+
+  const auto touch = [&](NodeId v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (stamp_[i] != gen_) {
+      stamp_[i] = gen_;
+      dist_[i] = kUnreached;
+      pred_[i] = -1;
+    }
+  };
+  const auto minHeap = [](const HeapItem& a, const HeapItem& b) { return b < a; };
+
+  touch(source);
+  dist_[static_cast<std::size_t>(source)] = 0.0;
+  heap_.push_back({0.0, source});
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), minHeap);
+    heap_.pop_back();
+    if (top.d > dist_[static_cast<std::size_t>(top.v)]) continue;
+    if (top.v == target) break;
+    const auto nbs = g.neighbors(top.v);
+    const auto ws = g.edgeWeights(top.v);
+    for (std::size_t k = 0; k < nbs.size(); ++k) {
+      const NodeId v = nbs[k];
+      touch(v);
+      const double nd = top.d + ws[k];
+      if (nd < dist_[static_cast<std::size_t>(v)]) {
+        dist_[static_cast<std::size_t>(v)] = nd;
+        pred_[static_cast<std::size_t>(v)] = top.v;
+        heap_.push_back({nd, v});
+        std::push_heap(heap_.begin(), heap_.end(), minHeap);
+      }
+    }
+  }
+}
+
+void DijkstraWorkspace::pathTo(NodeId target, std::vector<NodeId>& out) const {
+  out.clear();
+  if (target < 0 || static_cast<std::size_t>(target) >= dist_.size() ||
+      dist(target) == kUnreached) {
+    return;
+  }
+  const std::size_t maxHops = dist_.size();
+  for (NodeId v = target; v != -1; v = pred(v)) {
+    if (out.size() > maxHops) {  // corrupted pred chain: never loop forever
+      out.clear();
+      return;
+    }
+    out.push_back(v);
+  }
+  std::reverse(out.begin(), out.end());
+}
+
+}  // namespace hybrid::graph

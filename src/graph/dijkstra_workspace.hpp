@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hybrid::graph {
+
+/// Reusable single-source shortest-path state for the serving hot loop.
+///
+/// graph::dijkstra() pays `dist.assign(n, inf)` plus a fresh priority queue
+/// on every call — fine for preprocessing, ruinous when the same graph
+/// answers millions of queries. This workspace keeps dist/pred arrays that
+/// are invalidated in O(1) by bumping a generation stamp (a slot is valid
+/// only when its stamp matches the current generation) and a binary heap
+/// whose backing vector keeps its capacity across runs, so repeated calls
+/// perform zero steady-state heap allocations once the arrays have grown
+/// to the graph size.
+///
+/// Tie-breaking matches graph::dijkstra() exactly: the heap pops (dist,
+/// node) pairs in lexicographic order, so equal-distance nodes settle in
+/// ascending node order and the predecessor trees are identical.
+class DijkstraWorkspace {
+ public:
+  /// Runs Dijkstra from `source` over `g`. If `target` >= 0 the search
+  /// stops once the target is settled. Results of the previous run are
+  /// invalidated.
+  void run(const CsrAdjacency& g, NodeId source, NodeId target = -1);
+
+  /// Distance of the last run; +inf when unreached (or never run).
+  double dist(NodeId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return stamp_[i] == gen_ ? dist_[i] : kUnreached;
+  }
+  /// Predecessor on a shortest path; -1 at the source / unreached nodes.
+  NodeId pred(NodeId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return stamp_[i] == gen_ ? pred_[i] : -1;
+  }
+
+  /// Writes the source->target node path into `out` (cleared first; its
+  /// capacity is reused). Leaves `out` empty when the target is
+  /// unreachable or the predecessor chain is longer than the node count
+  /// (corruption guard).
+  void pathTo(NodeId target, std::vector<NodeId>& out) const;
+
+  static constexpr double kUnreached = std::numeric_limits<double>::infinity();
+
+ private:
+  void ensureSize(std::size_t n);
+
+  struct HeapItem {
+    double d;
+    NodeId v;
+    bool operator<(const HeapItem& o) const { return d < o.d || (d == o.d && v < o.v); }
+  };
+
+  std::vector<double> dist_;
+  std::vector<NodeId> pred_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t gen_ = 0;
+  std::vector<HeapItem> heap_;
+};
+
+}  // namespace hybrid::graph

@@ -14,7 +14,10 @@ std::vector<NodeId> ShortestPathTree::pathTo(NodeId target) const {
   const auto t = static_cast<std::size_t>(target);
   if (t >= dist.size() || dist[t] == kInf) return {};
   std::vector<NodeId> path;
+  path.reserve(16);
+  const std::size_t maxHops = dist.size();  // a simple path has <= n nodes
   for (NodeId v = target; v != -1; v = pred[static_cast<std::size_t>(v)]) {
+    if (path.size() > maxHops) return {};  // corrupted pred chain: bail out
     path.push_back(v);
   }
   std::reverse(path.begin(), path.end());

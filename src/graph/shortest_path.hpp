@@ -11,7 +11,8 @@ struct ShortestPathTree {
   std::vector<double> dist;  ///< Euclidean distance from the source; +inf if unreachable.
   std::vector<NodeId> pred;  ///< Predecessor on a shortest path; -1 at source/unreachable.
 
-  /// Reconstructs the source->target node path; empty if unreachable.
+  /// Reconstructs the source->target node path; empty if unreachable or if
+  /// the predecessor chain is corrupted (more than n hops ⇒ a cycle).
   std::vector<NodeId> pathTo(NodeId target) const;
 };
 

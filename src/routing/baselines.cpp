@@ -8,7 +8,7 @@
 
 namespace hybrid::routing {
 
-RouteResult GreedyRouter::route(graph::NodeId source, graph::NodeId target) {
+RouteResult GreedyRouter::route(graph::NodeId source, graph::NodeId target) const {
   RouteResult r;
   r.path.push_back(source);
   const geom::Vec2 pt = g_.position(target);
@@ -33,7 +33,7 @@ RouteResult GreedyRouter::route(graph::NodeId source, graph::NodeId target) {
   return r;
 }
 
-RouteResult CompassRouter::route(graph::NodeId source, graph::NodeId target) {
+RouteResult CompassRouter::route(graph::NodeId source, graph::NodeId target) const {
   RouteResult r;
   r.path.push_back(source);
   const geom::Vec2 pt = g_.position(target);
@@ -85,7 +85,7 @@ bool walkRing(const holes::Hole& hole, const graph::GeometricGraph& g,
 
 }  // namespace
 
-RouteResult FaceGreedyRouter::route(graph::NodeId source, graph::NodeId target) {
+RouteResult FaceGreedyRouter::route(graph::NodeId source, graph::NodeId target) const {
   RouteResult r;
   r.path.push_back(source);
   const geom::Vec2 pt = g_.position(target);

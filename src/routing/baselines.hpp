@@ -11,7 +11,7 @@ namespace hybrid::routing {
 class GreedyRouter : public Router {
  public:
   explicit GreedyRouter(const graph::GeometricGraph& g) : g_(g) {}
-  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override { return "greedy"; }
 
  private:
@@ -24,7 +24,7 @@ class GreedyRouter : public Router {
 class CompassRouter : public Router {
  public:
   explicit CompassRouter(const graph::GeometricGraph& g) : g_(g) {}
-  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override { return "compass"; }
 
  private:
@@ -41,7 +41,7 @@ class FaceGreedyRouter : public Router {
   FaceGreedyRouter(const graph::GeometricGraph& g, const PlanarSubdivision& sub,
                    const holes::HoleAnalysis& analysis)
       : g_(g), chew_(g, sub), analysis_(analysis) {}
-  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override { return "face-greedy"; }
 
  private:

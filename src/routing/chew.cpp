@@ -150,7 +150,7 @@ bool ChewRouter::extend(std::vector<graph::NodeId>& path, graph::NodeId target,
   return false;
 }
 
-RouteResult ChewRouter::route(graph::NodeId source, graph::NodeId target) {
+RouteResult ChewRouter::route(graph::NodeId source, graph::NodeId target) const {
   RouteResult r;
   r.path.push_back(source);
   r.delivered = extend(r.path, target, &r.blockedHole);

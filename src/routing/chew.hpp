@@ -19,7 +19,7 @@ class ChewRouter : public Router {
   ChewRouter(const graph::GeometricGraph& ldel, const PlanarSubdivision& sub)
       : g_(ldel), sub_(sub) {}
 
-  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override { return "chew"; }
 
   /// Routes toward the target and appends hops to an existing path whose

@@ -25,7 +25,7 @@ graph::NodeId greedyStep(const graph::GeometricGraph& g, graph::NodeId cur,
 }  // namespace
 
 graph::NodeId GoafrRouter::facePhase(std::vector<graph::NodeId>& path, graph::NodeId u,
-                                     graph::NodeId target) {
+                                     graph::NodeId target) const {
   const geom::Vec2 pt = g_.position(target);
   const double dU = geom::dist(g_.position(u), pt);
   double r = opt_.rho0 * dU;
@@ -81,7 +81,7 @@ graph::NodeId GoafrRouter::facePhase(std::vector<graph::NodeId>& path, graph::No
   return -1;
 }
 
-RouteResult GoafrRouter::route(graph::NodeId source, graph::NodeId target) {
+RouteResult GoafrRouter::route(graph::NodeId source, graph::NodeId target) const {
   RouteResult result;
   result.path.push_back(source);
   const geom::Vec2 pt = g_.position(target);

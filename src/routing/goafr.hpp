@@ -22,7 +22,7 @@ class GoafrRouter : public Router {
   GoafrRouter(const graph::GeometricGraph& planar, GoafrOptions options = {})
       : g_(planar), rot_(planar), opt_(options) {}
 
-  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override { return "goafr+"; }
 
  private:
@@ -30,7 +30,7 @@ class GoafrRouter : public Router {
   /// returns the node from which greedy resumes (closer to target than u),
   /// or -1 if the target is unreachable within the growth budget.
   graph::NodeId facePhase(std::vector<graph::NodeId>& path, graph::NodeId u,
-                          graph::NodeId target);
+                          graph::NodeId target) const;
 
   const graph::GeometricGraph& g_;
   graph::RotationSystem rot_;

@@ -149,18 +149,25 @@ void HybridRouter::ringWalkToHullNode(std::vector<graph::NodeId>& path, int hole
 
 bool HybridRouter::routeViaOverlay(std::vector<graph::NodeId>& path, graph::NodeId target,
                                    int* fallbacks) const {
-  const auto wp = overlay_->waypoints(g_.position(path.back()), g_.position(target));
-  if (!wp) {
+  // Combined query through per-thread scratch: one solve for waypoints and
+  // distance, no allocation in the incremental (visibility-table) mode.
+  // The waypoint loop below must not re-enter the overlay (chewOrFallback
+  // only runs Chew legs / A*), or the scratch would be clobbered mid-walk.
+  thread_local OverlayQueryWorkspace overlayWs;
+  thread_local OverlayRoute overlayRoute;
+  overlay_->query(g_.position(path.back()), g_.position(target), overlayWs, overlayRoute);
+  if (!overlayRoute.reachable) {
     return chewOrFallback(path, target, fallbacks);
   }
+  const auto& wp = overlayRoute.waypoints;
   if (debugEnabled()) {
     std::fprintf(stderr, "[overlay] from %d to %d via:", path.back(), target);
-    for (graph::NodeId w : *wp) {
+    for (graph::NodeId w : wp) {
       std::fprintf(stderr, " %d(%.1f,%.1f)", w, g_.position(w).x, g_.position(w).y);
     }
     std::fprintf(stderr, "\n");
   }
-  for (graph::NodeId w : *wp) {
+  for (graph::NodeId w : wp) {
     if (path.back() == w) continue;
     if (!chewOrFallback(path, w, fallbacks)) return false;
   }
@@ -182,7 +189,8 @@ bool HybridRouter::routeOutside(std::vector<graph::NodeId>& path, graph::NodeId 
 }
 
 bool HybridRouter::routeWithinBay(std::vector<graph::NodeId>& path, graph::NodeId target,
-                                  const BayLocation& loc, int* fallbacks) const {
+                                  const BayLocation& loc, int* fallbacks,
+                                  int* bayExtremes) const {
   const graph::NodeId start = path.back();
   if (start == target) return true;
   int blocked = -1;
@@ -308,7 +316,7 @@ bool HybridRouter::routeWithinBay(std::vector<graph::NodeId>& path, graph::NodeI
     pos = next;
   }
   waypoints = std::move(compressed);
-  bayExtremes_ += std::max(0, static_cast<int>(waypoints.size()) - 1);
+  *bayExtremes += std::max(0, static_cast<int>(waypoints.size()) - 1);
   if (debugEnabled()) {
     std::fprintf(stderr, "[bay %d/%d] %d->%d blockedAt=%d wp:", loc.abstraction, loc.bay,
                  start, target, path.back());
@@ -338,7 +346,7 @@ bool HybridRouter::routeWithinBay(std::vector<graph::NodeId>& path, graph::NodeI
 }
 
 bool HybridRouter::escapeBay(std::vector<graph::NodeId>& path, const BayLocation& loc,
-                             geom::Vec2 towards, int* fallbacks) const {
+                             geom::Vec2 towards, int* fallbacks, int* bayExtremes) const {
   const auto& bay =
       abstractions_[static_cast<std::size_t>(loc.abstraction)].bays[static_cast<std::size_t>(loc.bay)];
   const geom::Vec2 cur = g_.position(path.back());
@@ -347,13 +355,12 @@ bool HybridRouter::escapeBay(std::vector<graph::NodeId>& path, const BayLocation
   const double costTo = geom::dist(cur, g_.position(bay.hullTo)) +
                         geom::dist(g_.position(bay.hullTo), towards);
   const graph::NodeId exit = costFrom <= costTo ? bay.hullFrom : bay.hullTo;
-  return routeWithinBay(path, exit, loc, fallbacks);
+  return routeWithinBay(path, exit, loc, fallbacks, bayExtremes);
 }
 
-RouteResult HybridRouter::route(graph::NodeId source, graph::NodeId target) {
+RouteResult HybridRouter::route(graph::NodeId source, graph::NodeId target) const {
   RouteResult r;
   r.path.push_back(source);
-  bayExtremes_ = 0;
   if (source == target) {
     r.delivered = true;
     return r;
@@ -373,7 +380,7 @@ RouteResult HybridRouter::route(graph::NodeId source, graph::NodeId target) {
     ok = routeOutside(r.path, target, &r.fallbacks);  // case 1
   } else if (locS && !locT) {  // case 2 (source inside)
     r.protocolCase = 2;
-    ok = escapeBay(r.path, *locS, g_.position(target), &r.fallbacks) &&
+    ok = escapeBay(r.path, *locS, g_.position(target), &r.fallbacks, &r.bayExtremePoints) &&
          routeOutside(r.path, target, &r.fallbacks);
   } else if (!locS && locT) {  // case 2 (target inside)
     r.protocolCase = 2;
@@ -387,15 +394,15 @@ RouteResult HybridRouter::route(graph::NodeId source, graph::NodeId target) {
                           geom::dist(g_.position(bay.hullTo), pt);
     const graph::NodeId entry = costFrom <= costTo ? bay.hullFrom : bay.hullTo;
     ok = routeOutside(r.path, entry, &r.fallbacks) &&
-         routeWithinBay(r.path, target, *locT, &r.fallbacks);
+         routeWithinBay(r.path, target, *locT, &r.fallbacks, &r.bayExtremePoints);
   } else if (locS->abstraction == locT->abstraction && locS->bay == locT->bay) {
     r.protocolCase = 5;
-    ok = routeWithinBay(r.path, target, *locS, &r.fallbacks);  // case 5
+    ok = routeWithinBay(r.path, target, *locS, &r.fallbacks, &r.bayExtremePoints);  // case 5
   } else {  // cases 3 and 4
     r.protocolCase = locS->abstraction == locT->abstraction ? 4 : 3;
     const auto& bayT = abstractions_[static_cast<std::size_t>(locT->abstraction)]
                            .bays[static_cast<std::size_t>(locT->bay)];
-    ok = escapeBay(r.path, *locS, g_.position(target), &r.fallbacks);
+    ok = escapeBay(r.path, *locS, g_.position(target), &r.fallbacks, &r.bayExtremePoints);
     if (ok) {
       const geom::Vec2 cur = g_.position(r.path.back());
       const geom::Vec2 pt = g_.position(target);
@@ -405,7 +412,7 @@ RouteResult HybridRouter::route(graph::NodeId source, graph::NodeId target) {
                             geom::dist(g_.position(bayT.hullTo), pt);
       const graph::NodeId entry = costFrom <= costTo ? bayT.hullFrom : bayT.hullTo;
       ok = routeOutside(r.path, entry, &r.fallbacks) &&
-           routeWithinBay(r.path, target, *locT, &r.fallbacks);
+           routeWithinBay(r.path, target, *locT, &r.fallbacks, &r.bayExtremePoints);
     }
   }
   if (!ok) {
@@ -417,7 +424,6 @@ RouteResult HybridRouter::route(graph::NodeId source, graph::NodeId target) {
     }
   }
   r.delivered = r.path.back() == target;
-  r.bayExtremePoints = bayExtremes_;
   if (r.delivered && opt_.prunePaths) prunePath(r.path);
   return r;
 }

@@ -44,7 +44,7 @@ class HybridRouter : public Router {
                const std::vector<abstraction::HoleAbstraction>& abstractions,
                const PlanarSubdivision& sub, HybridOptions options = {});
 
-  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override;
 
   const OverlayGraph& overlay() const { return *overlay_; }
@@ -71,9 +71,9 @@ class HybridRouter : public Router {
   bool routeViaOverlay(std::vector<graph::NodeId>& path, graph::NodeId target,
                        int* fallbacks) const;
   bool routeWithinBay(std::vector<graph::NodeId>& path, graph::NodeId target,
-                      const BayLocation& loc, int* fallbacks) const;
+                      const BayLocation& loc, int* fallbacks, int* bayExtremes) const;
   bool escapeBay(std::vector<graph::NodeId>& path, const BayLocation& loc,
-                 geom::Vec2 towards, int* fallbacks) const;
+                 geom::Vec2 towards, int* fallbacks, int* bayExtremes) const;
   void ringWalkToHullNode(std::vector<graph::NodeId>& path, int holeIdx) const;
   void prunePath(std::vector<graph::NodeId>& path) const;
 
@@ -83,8 +83,6 @@ class HybridRouter : public Router {
   ChewRouter chew_;
   std::unique_ptr<OverlayGraph> overlay_;
   HybridOptions opt_;
-  /// |E_route| of the most recent bay-area leg (reset per route()).
-  mutable int bayExtremes_ = 0;
 
   std::vector<std::vector<graph::NodeId>> bayDS_;
   std::vector<std::vector<geom::Polygon>> bayPolys_;  ///< Per abstraction.

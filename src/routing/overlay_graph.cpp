@@ -6,9 +6,15 @@
 #include <set>
 
 #include "delaunay/triangulation.hpp"
+#include "graph/dijkstra_workspace.hpp"
 #include "graph/shortest_path.hpp"
+#include "util/parallel.hpp"
 
 namespace hybrid::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
 
 OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
                            const holes::HoleAnalysis& analysis,
@@ -66,6 +72,7 @@ OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
   }
 
   buildSiteEdges();
+  buildSitePairTable();
 }
 
 OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
@@ -89,6 +96,7 @@ OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
     }
   }
   buildSiteEdges();
+  buildSitePairTable();
 }
 
 void OverlayGraph::buildSiteEdges() {
@@ -113,6 +121,56 @@ void OverlayGraph::buildSiteEdges() {
       siteAdj_.assign(sitePos_.size(), {});
     }
   }
+}
+
+void OverlayGraph::buildSitePairTable() {
+  const std::size_t h = sitePos_.size();
+  // Delaunay queries re-triangulate with the endpoints inserted, so the
+  // static site graph cannot answer them; only visibility mode serves
+  // incrementally. (With fewer than 3 points the Delaunay query graph
+  // degenerates to the visibility form, but such overlays are trivially
+  // cheap either way.)
+  incremental_ = edgeMode_ == EdgeMode::Visibility && h <= kMaxTableSites;
+  if (!incremental_ || h == 0) return;
+
+  siteCsr_ = graph::buildCsr(siteAdj_, sitePos_);
+  siteDist_.assign(h * h, kInf);
+  sitePred_.assign(h * h, -1);
+  // One Dijkstra per source site; rows are independent, so the parallel
+  // fill is deterministic at any thread count.
+  const unsigned threads = h >= 96 ? util::resolveThreads(0) : 1;
+  util::parallelChunks(h, threads, [&](std::size_t begin, std::size_t end, unsigned) {
+    graph::DijkstraWorkspace ws;
+    for (std::size_t i = begin; i < end; ++i) {
+      ws.run(siteCsr_, static_cast<graph::NodeId>(i));
+      double* distRow = siteDist_.data() + i * h;
+      std::int32_t* predRow = sitePred_.data() + i * h;
+      for (std::size_t j = 0; j < h; ++j) {
+        distRow[j] = ws.dist(static_cast<graph::NodeId>(j));
+        predRow[j] = ws.pred(static_cast<graph::NodeId>(j));
+      }
+    }
+  });
+}
+
+bool OverlayGraph::sitePathLocal(int i, int j, std::vector<int>& out) const {
+  const std::size_t h = sitePos_.size();
+  const std::size_t before = out.size();
+  const std::int32_t* predRow = sitePred_.data() + static_cast<std::size_t>(i) * h;
+  std::size_t hops = 0;
+  for (int v = j; v != -1; v = predRow[static_cast<std::size_t>(v)]) {
+    if (++hops > h) {  // corrupted pred chain guard
+      out.resize(before);
+      return false;
+    }
+    out.push_back(v);
+  }
+  if (out[out.size() - 1] != i) {  // never reached the source: disconnected
+    out.resize(before);
+    return false;
+  }
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(before), out.end());
+  return true;
 }
 
 OverlayGraph::Query OverlayGraph::buildQueryGraph(geom::Vec2 from, geom::Vec2 to) const {
@@ -182,25 +240,243 @@ OverlayGraph::Query OverlayGraph::buildQueryGraph(geom::Vec2 from, geom::Vec2 to
   return q;
 }
 
-std::optional<std::vector<graph::NodeId>> OverlayGraph::waypoints(geom::Vec2 from,
-                                                                  geom::Vec2 to) const {
-  if (from == to) return std::vector<graph::NodeId>{};
+void OverlayGraph::queryRebuild(geom::Vec2 from, geom::Vec2 to, OverlayRoute& out) const {
   const Query q = buildQueryGraph(from, to);
   const auto tree = graph::dijkstra(q.g, q.fromIdx, q.toIdx);
+  out.distance = tree.dist[static_cast<std::size_t>(q.toIdx)];
   const auto path = tree.pathTo(q.toIdx);
-  if (path.empty() && q.fromIdx != q.toIdx) return std::nullopt;
-  std::vector<graph::NodeId> out;
+  if (path.empty() && q.fromIdx != q.toIdx) return;  // unreachable
+  out.reachable = true;
   for (graph::NodeId v : path) {
     if (v == q.fromIdx || v == q.toIdx) continue;
-    if (v < static_cast<int>(sites_.size())) out.push_back(sites_[static_cast<std::size_t>(v)]);
+    if (v < static_cast<int>(sites_.size())) {
+      out.waypoints.push_back(sites_[static_cast<std::size_t>(v)]);
+    }
   }
+}
+
+void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
+                                    OverlayQueryWorkspace& ws, OverlayRoute& out) const {
+  const std::size_t h = sitePos_.size();
+  // Endpoints that coincide with a site enter the overlay there at cost 0,
+  // exactly as the rebuilt query graph reused the site node.
+  int fromSite = -1;
+  int toSite = -1;
+  for (int i = 0; i < static_cast<int>(h); ++i) {
+    if (sitePos_[static_cast<std::size_t>(i)] == from) fromSite = i;
+    if (sitePos_[static_cast<std::size_t>(i)] == to) toSite = i;
+  }
+
+  int bestEntry = -1;
+  int bestExit = -1;
+  double best = kInf;
+
+  if (fromSite >= 0 && toSite >= 0) {
+    // Both endpoints are sites: the query graph is the precomputed site
+    // graph itself (visibility adjacency covers every visible pair).
+    best = siteDist_[static_cast<std::size_t>(fromSite) * h +
+                     static_cast<std::size_t>(toSite)];
+    bestEntry = fromSite;
+    bestExit = toSite;
+  } else {
+    // Direct edge: a temporary endpoint links to every visible point,
+    // including the other endpoint. The rebuilt graph ran the visibility
+    // test from each *temporary* endpoint in turn (site nodes never
+    // initiated edges to temps), and visible() can be asymmetric when a
+    // segment grazes a hole vertex — so replicate the exact orientation(s)
+    // the old graph evaluated.
+    const bool direct =
+        (fromSite < 0 && vis_.visible(from, to)) || (toSite < 0 && vis_.visible(to, from));
+    if (direct) best = geom::dist(from, to);
+
+    // Visibility tests (endpoint-first orientation, matching the rebuilt
+    // graph's edge tests) dominate the query cost, so they run lazily and
+    // each verdict is cached for the query's lifetime.
+    ws.entryVis_.assign(h, 0);
+    ws.exitVis_.assign(h, 0);
+    const auto entryVisible = [&](int i) {
+      signed char& f = ws.entryVis_[static_cast<std::size_t>(i)];
+      if (f == 0) {
+        f = vis_.visible(from, sitePos_[static_cast<std::size_t>(i)]) ? 1 : -1;
+      }
+      return f > 0;
+    };
+    const auto exitVisible = [&](int j) {
+      signed char& f = ws.exitVis_[static_cast<std::size_t>(j)];
+      if (f == 0) {
+        f = vis_.visible(to, sitePos_[static_cast<std::size_t>(j)]) ? 1 : -1;
+      }
+      return f > 0;
+    };
+
+    // Pruning bound: any site whose Euclidean lower bound
+    //   d(from, s_i) + |s_i - to|   (entry)   /   |from - s_j| + d(s_j, to)  (exit)
+    // strictly exceeds a known upper bound on the optimal cannot be part
+    // of a strictly-better candidate (overlay legs are at least the
+    // straight-line distance), so its visibility test is skipped. The
+    // bound is kept separate from the scan's running `best` and the prune
+    // is strict, so every candidate that could tie the optimum survives
+    // and the pair scan selects exactly what the unpruned scan would.
+    double bound = best;
+    if (bound == kInf && h > 0) {
+      // Direct segment blocked: seed a finite bound from the
+      // nearest-by-lower-bound visible entry and exit joined by the table.
+      // The through-site lower bound |from - s| + |s - to| orders both
+      // walks, so it is computed and sorted once.
+      ws.seedLB_.resize(h);
+      ws.seedOrder_.resize(h);
+      for (int i = 0; i < static_cast<int>(h); ++i) {
+        const geom::Vec2 s = sitePos_[static_cast<std::size_t>(i)];
+        ws.seedLB_[static_cast<std::size_t>(i)] = geom::dist(from, s) + geom::dist(s, to);
+        ws.seedOrder_[static_cast<std::size_t>(i)] = i;
+      }
+      std::sort(ws.seedOrder_.begin(), ws.seedOrder_.end(), [&](int a, int b) {
+        return ws.seedLB_[static_cast<std::size_t>(a)] <
+               ws.seedLB_[static_cast<std::size_t>(b)];
+      });
+      // A handful of seeds per side tightens the bound considerably over a
+      // single pair (the nearest visible entry and exit are often on the
+      // same side of the blocking hole, forcing a long table detour).
+      constexpr int kSeeds = 3;
+      int seedEntries[kSeeds];
+      int seedExits[kSeeds];
+      int numEntries = 0;
+      int numExits = 0;
+      if (fromSite >= 0) {
+        seedEntries[numEntries++] = fromSite;
+      } else {
+        for (const int i : ws.seedOrder_) {
+          if (!entryVisible(i)) continue;
+          seedEntries[numEntries++] = i;
+          if (numEntries == kSeeds) break;
+        }
+      }
+      if (toSite >= 0) {
+        seedExits[numExits++] = toSite;
+      } else if (numEntries > 0) {
+        for (const int j : ws.seedOrder_) {
+          if (!exitVisible(j)) continue;
+          seedExits[numExits++] = j;
+          if (numExits == kSeeds) break;
+        }
+      }
+      for (int a = 0; a < numEntries; ++a) {
+        const int i = seedEntries[a];
+        const double entryLeg =
+            i == fromSite ? 0.0 : geom::dist(from, sitePos_[static_cast<std::size_t>(i)]);
+        const double* distRow = siteDist_.data() + static_cast<std::size_t>(i) * h;
+        for (int b = 0; b < numExits; ++b) {
+          const int j = seedExits[b];
+          const double exitLeg =
+              j == toSite ? 0.0 : geom::dist(sitePos_[static_cast<std::size_t>(j)], to);
+          bound = std::min(bound, entryLeg + distRow[static_cast<std::size_t>(j)] + exitLeg);
+        }
+      }
+    }
+
+    // Entry/exit legs to the visible sites (cost 0 at a coinciding site).
+    ws.entrySites_.clear();
+    ws.exitSites_.clear();
+    ws.entryDist_.assign(h, kInf);
+    ws.exitDist_.assign(h, kInf);
+    if (fromSite >= 0) {
+      ws.entryDist_[static_cast<std::size_t>(fromSite)] = 0.0;
+      ws.entrySites_.push_back(fromSite);
+    } else {
+      for (int i = 0; i < static_cast<int>(h); ++i) {
+        const geom::Vec2 s = sitePos_[static_cast<std::size_t>(i)];
+        const double leg = geom::dist(from, s);
+        if (leg + geom::dist(s, to) > bound) continue;
+        if (!entryVisible(i)) continue;
+        ws.entryDist_[static_cast<std::size_t>(i)] = leg;
+        ws.entrySites_.push_back(i);
+      }
+    }
+    if (toSite >= 0) {
+      ws.exitDist_[static_cast<std::size_t>(toSite)] = 0.0;
+      ws.exitSites_.push_back(toSite);
+    } else {
+      for (int j = 0; j < static_cast<int>(h); ++j) {
+        const geom::Vec2 s = sitePos_[static_cast<std::size_t>(j)];
+        const double leg = geom::dist(s, to);
+        if (geom::dist(from, s) + leg > bound) continue;
+        if (!exitVisible(j)) continue;
+        ws.exitDist_[static_cast<std::size_t>(j)] = leg;
+        ws.exitSites_.push_back(j);
+      }
+    }
+
+    // Best entry/exit-site combination over the precomputed pair table.
+    for (const int i : ws.entrySites_) {
+      const double di = ws.entryDist_[static_cast<std::size_t>(i)];
+      if (di >= best) continue;
+      const double* distRow = siteDist_.data() + static_cast<std::size_t>(i) * h;
+      for (const int j : ws.exitSites_) {
+        const double cand = di + distRow[static_cast<std::size_t>(j)] +
+                            ws.exitDist_[static_cast<std::size_t>(j)];
+        if (cand < best) {
+          best = cand;
+          bestEntry = i;
+          bestExit = j;
+        }
+      }
+    }
+  }
+
+  if (best == kInf) return;  // unreachable
+  out.reachable = true;
+  out.distance = best;
+  if (bestEntry < 0) return;  // direct visibility: no intermediate sites
+
+  ws.pathScratch_.clear();
+  if (!sitePathLocal(bestEntry, bestExit, ws.pathScratch_)) {
+    // Table says reachable but the pred walk failed: should not happen.
+    out.reachable = false;
+    out.distance = kInf;
+    return;
+  }
+  for (const int v : ws.pathScratch_) {
+    if (v == fromSite || v == toSite) continue;  // endpoints are not waypoints
+    out.waypoints.push_back(sites_[static_cast<std::size_t>(v)]);
+  }
+}
+
+void OverlayGraph::query(geom::Vec2 from, geom::Vec2 to, OverlayQueryWorkspace& ws,
+                         OverlayRoute& out) const {
+  out.reachable = false;
+  out.distance = kInf;
+  out.waypoints.clear();
+  if (from == to) {
+    out.reachable = true;
+    out.distance = 0.0;
+    return;
+  }
+  if (incremental_) {
+    queryIncremental(from, to, ws, out);
+  } else {
+    queryRebuild(from, to, out);
+  }
+}
+
+OverlayRoute OverlayGraph::waypointsWithDistance(geom::Vec2 from, geom::Vec2 to) const {
+  thread_local OverlayQueryWorkspace ws;
+  OverlayRoute out;
+  query(from, to, ws, out);
   return out;
 }
 
+std::optional<std::vector<graph::NodeId>> OverlayGraph::waypoints(geom::Vec2 from,
+                                                                  geom::Vec2 to) const {
+  auto route = waypointsWithDistance(from, to);
+  if (!route.reachable) return std::nullopt;
+  return std::move(route.waypoints);
+}
+
 double OverlayGraph::overlayDistance(geom::Vec2 from, geom::Vec2 to) const {
-  if (from == to) return 0.0;
-  const Query q = buildQueryGraph(from, to);
-  return graph::dijkstra(q.g, q.fromIdx, q.toIdx).dist[static_cast<std::size_t>(q.toIdx)];
+  thread_local OverlayQueryWorkspace ws;
+  thread_local OverlayRoute out;
+  query(from, to, ws, out);
+  return out.distance;
 }
 
 }  // namespace hybrid::routing

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
 #include "abstraction/hole_abstraction.hpp"
 #include "geom/visibility.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "holes/hole_detection.hpp"
 
@@ -25,9 +28,49 @@ enum class EdgeMode {
   Delaunay,    ///< Delaunay of the sites: O(h) edges, 35.37-competitive.
 };
 
+/// Combined answer of one overlay query: the waypoints *and* the overlay
+/// path length from a single solve. Callers that reuse the struct keep the
+/// waypoint vector's capacity across queries.
+struct OverlayRoute {
+  bool reachable = false;
+  double distance = std::numeric_limits<double>::infinity();
+  std::vector<graph::NodeId> waypoints;  ///< Intermediate sites, endpoint-free.
+};
+
+/// Per-thread scratch state for OverlayGraph::query(). Queries through a
+/// workspace perform zero steady-state heap allocations (visibility mode);
+/// one workspace must not be shared between concurrent queries.
+class OverlayQueryWorkspace {
+ public:
+  OverlayQueryWorkspace() = default;
+
+ private:
+  friend class OverlayGraph;
+  std::vector<double> entryDist_;  ///< d(from, site i); +inf when not visible.
+  std::vector<double> exitDist_;   ///< d(site j, to); +inf when not visible.
+  std::vector<int> entrySites_;    ///< Site indices with finite entry distance.
+  std::vector<int> exitSites_;     ///< Site indices with finite exit distance.
+  std::vector<int> pathScratch_;   ///< Local-index site path being rebuilt.
+  /// Cached visibility verdicts this query: 0 unknown, 1 visible, -1 blocked.
+  std::vector<signed char> entryVis_;
+  std::vector<signed char> exitVis_;
+  std::vector<double> seedLB_;  ///< Per-site Euclidean lower bounds (seed phase).
+  std::vector<int> seedOrder_;  ///< Site indices sorted by seedLB_.
+};
+
 /// The long-range overlay used to plan around radio holes. Sites are hole
 /// abstraction nodes; a waypoint query inserts the source and target and
 /// returns the intermediate sites of a shortest overlay path.
+///
+/// Serving engine: visibility-mode overlays precompute the site-to-site
+/// distance/predecessor table (h Dijkstras over the CSR site graph, run in
+/// parallel at construction), so a query only connects the two endpoints
+/// to their visible sites and minimizes d(s, i) + table[i][j] + d(j, t)
+/// over entry/exit-site pairs — no graph rebuild, no per-query Dijkstra,
+/// no allocation. Delaunay mode genuinely re-triangulates per query
+/// (inserting s and t changes the edge set), so it keeps the rebuild path;
+/// both modes answer waypoints and distance from one solve. All query
+/// methods are const and safe to call concurrently.
 class OverlayGraph {
  public:
   OverlayGraph(const graph::GeometricGraph& ldel, const holes::HoleAnalysis& analysis,
@@ -42,10 +85,20 @@ class OverlayGraph {
                const std::vector<std::vector<graph::NodeId>>& siteRings,
                std::vector<geom::Polygon> obstacles, EdgeMode edgeMode);
 
+  /// One combined solve into caller-owned scratch + result storage: the
+  /// allocation-free hot path of the serving engine. `out.waypoints` is
+  /// cleared and refilled (capacity reused).
+  void query(geom::Vec2 from, geom::Vec2 to, OverlayQueryWorkspace& ws,
+             OverlayRoute& out) const;
+
+  /// Convenience wrapper over query() using a thread-local workspace.
+  OverlayRoute waypointsWithDistance(geom::Vec2 from, geom::Vec2 to) const;
+
   /// Site node ids (into the LDel graph) of the shortest overlay path from
   /// `from` to `to`, excluding the endpoints themselves. nullopt if the
   /// overlay is disconnected between them (should not happen for disjoint
-  /// convex hulls).
+  /// convex hulls). Prefer waypointsWithDistance() when the path length is
+  /// also needed — this and overlayDistance() each run a full solve.
   std::optional<std::vector<graph::NodeId>> waypoints(geom::Vec2 from, geom::Vec2 to) const;
 
   /// Euclidean length of the shortest overlay path (for analysis).
@@ -55,6 +108,25 @@ class OverlayGraph {
   std::size_t numPrecomputedEdges() const { return precomputedEdges_; }
   const geom::VisibilityContext& visibility() const { return vis_; }
 
+  // --- Introspection for parity tests and old-path bench replicas. ---
+  const std::vector<geom::Vec2>& sitePositions() const { return sitePos_; }
+  const std::vector<std::vector<int>>& siteAdjacency() const { return siteAdj_; }
+  const std::vector<std::pair<int, int>>& backboneEdges() const { return backboneEdges_; }
+  EdgeMode edgeMode() const { return edgeMode_; }
+  bool backboneFiltered() const { return filterBackbone_; }
+  /// True when queries are answered from the precomputed site-pair table.
+  bool servesIncrementally() const { return incremental_; }
+  /// Precomputed site-pair distance (+inf when disconnected); only valid
+  /// when servesIncrementally().
+  double sitePairDistance(int i, int j) const {
+    return siteDist_[static_cast<std::size_t>(i) * sitePos_.size() +
+                     static_cast<std::size_t>(j)];
+  }
+
+  /// Visibility overlays larger than this fall back to the rebuild path:
+  /// the O(h^2) table would cost too much memory to be a win.
+  static constexpr std::size_t kMaxTableSites = 4096;
+
  private:
   struct Query {
     graph::GeometricGraph g;  ///< sites + possibly from/to appended
@@ -63,6 +135,13 @@ class OverlayGraph {
   };
   Query buildQueryGraph(geom::Vec2 from, geom::Vec2 to) const;
   void buildSiteEdges();
+  void buildSitePairTable();
+  void queryIncremental(geom::Vec2 from, geom::Vec2 to, OverlayQueryWorkspace& ws,
+                        OverlayRoute& out) const;
+  void queryRebuild(geom::Vec2 from, geom::Vec2 to, OverlayRoute& out) const;
+  /// Appends the local-index site path i -> j (inclusive) from the pair
+  /// table into `out`; false when disconnected or the pred chain is bad.
+  bool sitePathLocal(int i, int j, std::vector<int>& out) const;
 
   std::vector<graph::NodeId> sites_;
   std::vector<geom::Vec2> sitePos_;
@@ -78,6 +157,12 @@ class OverlayGraph {
   /// visibility-filtered; hull/lch/ring backbones never cross their hole.
   bool filterBackbone_ = false;
   std::size_t precomputedEdges_ = 0;
+
+  // Serving engine state (visibility mode, h <= kMaxTableSites).
+  bool incremental_ = false;
+  graph::CsrAdjacency siteCsr_;          ///< Flat site graph (visibility edges).
+  std::vector<double> siteDist_;         ///< h*h shortest site-pair distances.
+  std::vector<std::int32_t> sitePred_;   ///< h*h predecessors (row = source site).
 };
 
 }  // namespace hybrid::routing

@@ -1,0 +1,19 @@
+#include "routing/router.hpp"
+
+#include "util/parallel.hpp"
+
+namespace hybrid::routing {
+
+std::vector<RouteResult> Router::routeBatch(std::span<const RoutePair> pairs,
+                                            int threads) const {
+  std::vector<RouteResult> results(pairs.size());
+  util::parallelChunks(pairs.size(), util::resolveThreads(threads),
+                       [&](std::size_t begin, std::size_t end, unsigned) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           results[i] = route(pairs[i].source, pairs[i].target);
+                         }
+                       });
+  return results;
+}
+
+}  // namespace hybrid::routing

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,12 +31,29 @@ struct RouteResult {
   std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
 };
 
+/// One source-target query of a batched routing request.
+struct RoutePair {
+  graph::NodeId source = -1;
+  graph::NodeId target = -1;
+};
+
 /// Common interface for all routing strategies.
+///
+/// route() is const and must be safe to call concurrently: routers are
+/// built once (preprocessing) and then serve queries from many threads.
+/// Per-query state lives on the stack or in thread-local workspaces.
 class Router {
  public:
   virtual ~Router() = default;
-  virtual RouteResult route(graph::NodeId source, graph::NodeId target) = 0;
+  virtual RouteResult route(graph::NodeId source, graph::NodeId target) const = 0;
   virtual std::string name() const = 0;
+
+  /// Serves a batch of queries on `threads` workers of the process-wide
+  /// ThreadPool (<= 0 means hardware concurrency). Results are written by
+  /// pair index, so the output is identical to the serial loop
+  /// `for (p : pairs) route(p.source, p.target)` at any thread count.
+  std::vector<RouteResult> routeBatch(std::span<const RoutePair> pairs,
+                                      int threads = 1) const;
 };
 
 }  // namespace hybrid::routing

@@ -4,7 +4,7 @@
 
 namespace hybrid::routing {
 
-RouteResult ServerOracleRouter::route(graph::NodeId source, graph::NodeId target) {
+RouteResult ServerOracleRouter::route(graph::NodeId source, graph::NodeId target) const {
   RouteResult r;
   r.path = graph::astarPath(g_, source, target);
   if (r.path.empty()) r.path.push_back(source);

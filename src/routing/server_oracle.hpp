@@ -14,7 +14,7 @@ class ServerOracleRouter : public Router {
  public:
   explicit ServerOracleRouter(const graph::GeometricGraph& udg) : g_(udg) {}
 
-  RouteResult route(graph::NodeId source, graph::NodeId target) override;
+  RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override { return "server-oracle"; }
 
   /// Long-range messages for one position/neighborhood upload epoch:

@@ -1,0 +1,31 @@
+#pragma once
+
+// Shared counting global allocator for zero-allocation assertions. The
+// definitions live in alloc_counter.cpp — a program may replace ::operator
+// new only once, so every test that wants to count heap traffic uses this
+// header instead of defining its own override. Sanitizer builds replace
+// the allocator themselves; there the counter stays at zero and
+// heapAllocCountingEnabled() lets tests skip the strict assertions.
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HYBRID_TEST_COUNTS_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define HYBRID_TEST_COUNTS_ALLOCS 0
+#else
+#define HYBRID_TEST_COUNTS_ALLOCS 1
+#endif
+#else
+#define HYBRID_TEST_COUNTS_ALLOCS 1
+#endif
+
+namespace hybrid::testsupport {
+
+/// Number of ::operator new calls so far (0 forever under sanitizers).
+long heapAllocCount();
+
+/// True when the counting allocator is active in this build.
+inline bool heapAllocCountingEnabled() { return HYBRID_TEST_COUNTS_ALLOCS != 0; }
+
+}  // namespace hybrid::testsupport

@@ -70,11 +70,10 @@ TEST(EdgeCases, OverlayGraphWithoutSites) {
   const auto sc = scenario::makeScenario(scenario::paramsForNodeCount(120, 96));
   core::HybridNetwork net(sc.points);
   const auto& overlay = net.router().overlay();
-  const auto wp = overlay.waypoints({1.0, 1.0}, {3.0, 3.0});
-  ASSERT_TRUE(wp.has_value());
-  EXPECT_TRUE(wp->empty());
-  EXPECT_NEAR(overlay.overlayDistance({1.0, 1.0}, {3.0, 3.0}), geom::dist({1, 1}, {3, 3}),
-              1e-9);
+  const auto route = overlay.waypointsWithDistance({1.0, 1.0}, {3.0, 3.0});
+  ASSERT_TRUE(route.reachable);
+  EXPECT_TRUE(route.waypoints.empty());
+  EXPECT_NEAR(route.distance, geom::dist({1, 1}, {3, 3}), 1e-9);
 }
 
 TEST(EdgeCases, RingPipelineIgnoresTinyRings) {

@@ -1,62 +1,14 @@
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
-
+#include "alloc_counter.hpp"
 #include "delaunay/udg.hpp"
 #include "sim/message_pool.hpp"
 #include "sim/simulator.hpp"
 #include "util/small_vec.hpp"
 
-// ---------------------------------------------------------------------------
-// Counting global allocator: proves the simulator's steady-state rounds are
-// allocation-free. Sanitizer builds replace the allocator themselves, so the
-// override (and the strict zero-allocation assertions) are compiled out there.
-// ---------------------------------------------------------------------------
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-#define POOL_TEST_COUNTS_ALLOCS 0
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
-    __has_feature(memory_sanitizer)
-#define POOL_TEST_COUNTS_ALLOCS 0
-#else
-#define POOL_TEST_COUNTS_ALLOCS 1
-#endif
-#else
-#define POOL_TEST_COUNTS_ALLOCS 1
-#endif
-
-#if POOL_TEST_COUNTS_ALLOCS
-namespace {
-std::atomic<long> g_heapAllocs{0};
-}  // namespace
-
-void* operator new(std::size_t n) {
-  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t n) {
-  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
-  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(n ? n : 1);
-}
-void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
-  g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(n ? n : 1);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
-#endif  // POOL_TEST_COUNTS_ALLOCS
+// The counting global allocator lives in alloc_counter.cpp (only one
+// ::operator new replacement is allowed per binary); under sanitizers the
+// strict zero-allocation assertions are skipped.
 
 namespace hybrid::sim {
 namespace {
@@ -184,20 +136,18 @@ TEST(MessagePool, SimulatorReachesAllocationFreeSteadyState) {
   sim.run(warm);
 
   const long smallVecBefore = util::detail::smallVecHeapAllocs().load();
-#if POOL_TEST_COUNTS_ALLOCS
-  const long heapBefore = g_heapAllocs.load(std::memory_order_relaxed);
-#endif
+  const long heapBefore = testsupport::heapAllocCount();
 
   GossipProtocol measured(20);
   sim.run(measured);
 
   // No SmallVec spilled: pooled slots and stack messages reused capacity.
   EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), smallVecBefore);
-#if POOL_TEST_COUNTS_ALLOCS
   // The whole second run — 20 rounds, every node sending to every neighbor
   // every round — touched the heap zero times.
-  EXPECT_EQ(g_heapAllocs.load(std::memory_order_relaxed), heapBefore);
-#endif
+  if (testsupport::heapAllocCountingEnabled()) {
+    EXPECT_EQ(testsupport::heapAllocCount(), heapBefore);
+  }
 }
 
 }  // namespace

@@ -84,10 +84,10 @@ TEST_F(OverlayFixture, EndpointOnSiteIsReusedNotDuplicated) {
 
 TEST_F(OverlayFixture, SameStartAndEnd) {
   const auto& overlay = net_->router().overlay();
-  const auto wp = overlay.waypoints({5.0, 5.0}, {5.0, 5.0});
-  ASSERT_TRUE(wp.has_value());
-  EXPECT_TRUE(wp->empty());
-  EXPECT_DOUBLE_EQ(overlay.overlayDistance({5.0, 5.0}, {5.0, 5.0}), 0.0);
+  const auto route = overlay.waypointsWithDistance({5.0, 5.0}, {5.0, 5.0});
+  ASSERT_TRUE(route.reachable);
+  EXPECT_TRUE(route.waypoints.empty());
+  EXPECT_DOUBLE_EQ(route.distance, 0.0);
 }
 
 TEST_F(OverlayFixture, VisibilityModeHasMoreEdgesThanDelaunay) {
