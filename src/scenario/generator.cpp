@@ -27,25 +27,15 @@ bool nearObstacle(geom::Vec2 p, const std::vector<geom::Polygon>& obstacles,
 
 }  // namespace
 
-Scenario makeScenario(const ScenarioParams& params) {
-  std::mt19937 rng(params.seed);
-  std::uniform_real_distribution<double> jit(-params.jitter * params.spacing,
-                                             params.jitter * params.spacing);
-  std::vector<geom::Vec2> pts;
-  for (double y = params.spacing / 2.0; y < params.height; y += params.spacing) {
-    for (double x = params.spacing / 2.0; x < params.width; x += params.spacing) {
-      const geom::Vec2 p{x + jit(rng), y + jit(rng)};
-      if (p.x < 0.0 || p.y < 0.0 || p.x > params.width || p.y > params.height) continue;
-      if (nearObstacle(p, params.obstacles, params.clearance)) continue;
-      pts.push_back(p);
-    }
-  }
-  // Deduplicate (jitter makes collisions measure-zero, but be safe).
+Scenario finalizeScenario(std::vector<geom::Vec2> pts,
+                          std::vector<geom::Polygon> obstacles, double radius) {
+  // Deduplicate (for generated clouds collisions are measure-zero, but
+  // adversarial testkit generators hit them on purpose).
   std::sort(pts.begin(), pts.end());
   pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
 
   // Keep the largest UDG component so the connectivity assumption holds.
-  const auto udg = delaunay::buildUnitDiskGraph(pts, params.radius);
+  const auto udg = delaunay::buildUnitDiskGraph(pts, radius);
   int numComp = 0;
   const auto labels = udg.componentLabels(&numComp);
   if (numComp > 1) {
@@ -62,9 +52,25 @@ Scenario makeScenario(const ScenarioParams& params) {
 
   Scenario s;
   s.points = std::move(pts);
-  s.obstacles = params.obstacles;
-  s.radius = params.radius;
+  s.obstacles = std::move(obstacles);
+  s.radius = radius;
   return s;
+}
+
+Scenario makeScenario(const ScenarioParams& params) {
+  std::mt19937 rng(params.seed);
+  std::uniform_real_distribution<double> jit(-params.jitter * params.spacing,
+                                             params.jitter * params.spacing);
+  std::vector<geom::Vec2> pts;
+  for (double y = params.spacing / 2.0; y < params.height; y += params.spacing) {
+    for (double x = params.spacing / 2.0; x < params.width; x += params.spacing) {
+      const geom::Vec2 p{x + jit(rng), y + jit(rng)};
+      if (p.x < 0.0 || p.y < 0.0 || p.x > params.width || p.y > params.height) continue;
+      if (nearObstacle(p, params.obstacles, params.clearance)) continue;
+      pts.push_back(p);
+    }
+  }
+  return finalizeScenario(std::move(pts), params.obstacles, params.radius);
 }
 
 ScenarioParams paramsForNodeCount(std::size_t n, unsigned seed, double spacing) {

@@ -37,6 +37,13 @@ struct Scenario {
 /// Perturbed-grid deployment avoiding the obstacle interiors.
 Scenario makeScenario(const ScenarioParams& params);
 
+/// Post-processing shared by every scenario source (grid generator, testkit
+/// adversarial generators, the shrinker): deduplicates the points and keeps
+/// only the largest UDG component, so the result satisfies the paper's
+/// connectivity assumption.
+Scenario finalizeScenario(std::vector<geom::Vec2> points,
+                          std::vector<geom::Polygon> obstacles, double radius);
+
 /// Convenience: square deployment sized so that roughly `n` nodes survive
 /// obstacle carving (before connectivity filtering).
 ScenarioParams paramsForNodeCount(std::size_t n, unsigned seed = 1,

@@ -61,6 +61,32 @@ geom::Polygon combObstacle(geom::Vec2 o, int teeth, double toothWidth, double ga
   return geom::Polygon(std::move(v));
 }
 
+std::vector<geom::Polygon> spiralWalls(geom::Vec2 center, int turns,
+                                       double corridorWidth, double wallThickness) {
+  // Rectangular spiral wall, one axis-aligned rectangle per leg (rectangles
+  // overlap at the joints, which is fine: obstacles compose as a set). A
+  // node near the spiral's center must travel the whole unrolled corridor
+  // to escape, so local routing pays the full spiral length while the
+  // straight-line distance stays tiny — the worst-case shape for
+  // competitiveness claims.
+  const double pitch = corridorWidth + wallThickness;
+  const double h = wallThickness / 2.0;
+  const geom::Vec2 dirs[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  std::vector<geom::Polygon> walls;
+  geom::Vec2 p = center;
+  for (int leg = 0; leg < 2 * turns; ++leg) {
+    // Leg lengths 1, 1, 2, 2, 3, 3, ... pitches; directions E, N, W, S.
+    const double len = (1 + leg / 2) * pitch;
+    const geom::Vec2 d = dirs[leg % 4];
+    const geom::Vec2 q{p.x + d.x * len, p.y + d.y * len};
+    const geom::Vec2 lo{std::min(p.x, q.x) - h, std::min(p.y, q.y) - h};
+    const geom::Vec2 hi{std::max(p.x, q.x) + h, std::max(p.y, q.y) + h};
+    walls.push_back(rectangleObstacle(lo, hi));
+    p = q;
+  }
+  return walls;
+}
+
 std::vector<geom::Polygon> cityBlocks(geom::Vec2 origin, int rows, int cols,
                                       double blockW, double blockH, double streetW) {
   std::vector<geom::Polygon> out;

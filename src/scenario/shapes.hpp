@@ -26,6 +26,12 @@ geom::Polygon uShapeObstacle(geom::Vec2 center, double width, double height,
 geom::Polygon combObstacle(geom::Vec2 origin, int teeth, double toothWidth,
                            double gapWidth, double depth, double barThickness);
 
+/// Rectangular spiral wall, one axis-aligned rectangle per leg. Escaping
+/// from near the center requires traversing the whole unrolled corridor —
+/// the adversarial shape for competitive-ratio fuzzing (testkit).
+std::vector<geom::Polygon> spiralWalls(geom::Vec2 center, int turns,
+                                       double corridorWidth, double wallThickness);
+
 /// Convex obstacles laid out like city blocks: `rows` x `cols` rectangles
 /// of size blockW x blockH separated by streets of width streetW, starting
 /// at `origin`.

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/generator.hpp"
+
+namespace hybrid::testkit {
+
+/// A replayable fuzz finding: the (shrunk) scenario plus its provenance.
+/// Cases are stored as JSON under tests/corpus/ and replayed forever after
+/// by corpus_regression_test — a failure the fuzzer found once becomes a
+/// permanent tier-1 regression check.
+struct CorpusCase {
+  std::string generator;  ///< Generator that produced the original scenario.
+  std::uint64_t seed = 0; ///< Trial seed (regenerates the unshrunk input).
+  std::string oracle;     ///< Oracle that failed when the case was recorded.
+  std::string note;       ///< Human-readable failure summary at record time.
+  scenario::Scenario scenario;  ///< The shrunk, replayable deployment.
+};
+
+/// Serializes with full double round-trip precision (%.17g): replaying a
+/// corpus case re-runs the oracles on bit-identical coordinates.
+std::string toJson(const CorpusCase& c);
+
+/// Parses toJson() output (tolerates unknown keys); nullopt on malformed
+/// input.
+std::optional<CorpusCase> fromJson(const std::string& json);
+
+bool saveCase(const std::string& path, const CorpusCase& c);
+std::optional<CorpusCase> loadCase(const std::string& path);
+
+/// Sorted paths of the "*.json" files directly under `dir` (empty when the
+/// directory is missing). Sorted so replay order — and any log diff — is
+/// deterministic.
+std::vector<std::string> listCorpus(const std::string& dir);
+
+}  // namespace hybrid::testkit

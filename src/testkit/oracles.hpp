@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/hybrid_network.hpp"
+#include "routing/overlay_graph.hpp"
+#include "routing/router.hpp"
+#include "scenario/generator.hpp"
+
+namespace hybrid::testkit {
+
+/// Deliberate defects the harness can plant to prove the pipeline catches,
+/// shrinks and records real bugs (fuzz_router --inject-bug, testkit_test).
+enum class InjectedBug {
+  None,
+  DropOverlayWaypoint,     ///< Overlay answers lose their last waypoint.
+  InflateOverlayDistance,  ///< Overlay distances come back 1% long.
+};
+
+const char* bugName(InjectedBug bug);
+/// Parses bugName() spelling; InjectedBug::None for "none" or unknown.
+InjectedBug parseInjectedBug(std::string_view name);
+
+/// Verdict of one oracle on one case. `skipped` marks an oracle that chose
+/// not to run (e.g. the ARQ differential on oversized instances); skips are
+/// counted separately so a summary showing 0 runs of an oracle is loud.
+struct OracleResult {
+  bool ok = true;
+  bool skipped = false;
+  std::string failure;
+};
+
+/// Everything the oracles share about one scenario: the built pipeline
+/// (HybridNetwork), a seeded set of query pairs, and the thread count the
+/// parallel paths are exercised at. Building this is the expensive step;
+/// oracles only read it. Not copyable: the router holds references into the
+/// network.
+class CaseContext {
+ public:
+  /// `seed` drives the query pairs (deterministically); `threads` is what
+  /// routeBatch/simulator parallel paths run at (their results must be
+  /// thread-count-invariant — that invariance is itself under test).
+  CaseContext(scenario::Scenario sc, std::uint64_t seed, int threads = 2,
+              InjectedBug bug = InjectedBug::None);
+  CaseContext(const CaseContext&) = delete;
+  CaseContext& operator=(const CaseContext&) = delete;
+
+  const scenario::Scenario& scenario() const { return sc_; }
+  const core::HybridNetwork& net() const { return net_; }
+  const std::vector<routing::RoutePair>& pairs() const { return pairs_; }
+  std::uint64_t seed() const { return seed_; }
+  int threads() const { return threads_; }
+  InjectedBug bug() const { return bug_; }
+
+ private:
+  scenario::Scenario sc_;
+  std::uint64_t seed_;
+  int threads_;
+  InjectedBug bug_;
+  core::HybridNetwork net_;
+  std::vector<routing::RoutePair> pairs_;
+};
+
+/// A differential oracle or paper-invariant checker. Pure function of the
+/// context: running it twice (or at another thread count) must return the
+/// same verdict.
+struct Oracle {
+  const char* name;
+  OracleResult (*check)(const CaseContext&);
+};
+
+/// The registry, in fixed order:
+///  - ldel_invariants:   LDel planarity, edges within radius, connectivity,
+///                       1.998-spanner samples vs graph::dijkstra
+///  - hull_invariants:   hull convexity/containment, hull_groups agreement
+///                       with pairwise disjointness detection
+///  - overlay_parity:    incremental/current overlay query vs brute-force
+///                       rebuild + graph::dijkstra ground truth
+///  - route_batch_parity: routeBatch at k threads vs the serial loop
+///  - competitive_bound: stretch <= c when hulls are disjoint; delivery +
+///                       edge-validity always (incl. the unsupported
+///                       intersecting-hulls case)
+///  - metamorphic_paths: symmetry + triangle inequality of d(s,t), route
+///                       length >= d(s,t)
+///  - arq_vs_faultfree:  LDel construction over lossy ARQ transport vs the
+///                       fault-free run
+const std::vector<Oracle>& oracles();
+
+/// nullptr when unknown.
+const Oracle* findOracle(std::string_view name);
+
+/// Brute-force overlay ground truth: rebuilds the query graph (sites +
+/// endpoints, visibility- or Delaunay-edged exactly as the serving engine
+/// defines it) from the overlay's public state and runs graph::dijkstra.
+/// This is the pre-PR-3 serving path; the overlay_parity oracle and the
+/// grazing-segment regression tests pin the incremental engine against it.
+routing::OverlayRoute referenceOverlayQuery(const routing::OverlayGraph& overlay,
+                                            geom::Vec2 from, geom::Vec2 to);
+
+}  // namespace hybrid::testkit

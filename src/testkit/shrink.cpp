@@ -1,0 +1,91 @@
+#include "testkit/shrink.hpp"
+
+#include <vector>
+
+namespace hybrid::testkit {
+
+namespace {
+
+struct Budget {
+  int remaining;
+  bool spend() { return remaining-- > 0; }
+};
+
+/// Tries `candidate` (re-finalized); on reproduction replaces `cur` and
+/// returns true. Candidates that fail to get *smaller* after finalization
+/// are rejected outright — progress must be monotone or ddmin can cycle.
+bool tryAccept(scenario::Scenario& cur, std::vector<geom::Vec2> points,
+               std::vector<geom::Polygon> obstacles, const FailurePredicate& fails,
+               const ShrinkOptions& opts, Budget& budget) {
+  if (points.size() < opts.minNodes) return false;
+  scenario::Scenario candidate =
+      scenario::finalizeScenario(std::move(points), std::move(obstacles), cur.radius);
+  const bool smaller =
+      candidate.points.size() < cur.points.size() ||
+      (candidate.points.size() == cur.points.size() &&
+       candidate.obstacles.size() < cur.obstacles.size());
+  if (!smaller || candidate.points.size() < opts.minNodes) return false;
+  if (!budget.spend()) return false;
+  bool reproduces = false;
+  try {
+    reproduces = fails(candidate);
+  } catch (...) {
+    // A candidate that crashes the pipeline is its own (different) bug;
+    // do not let it hijack the shrink of this one.
+    reproduces = false;
+  }
+  if (!reproduces) return false;
+  cur = std::move(candidate);
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult shrinkScenario(const scenario::Scenario& input, const FailurePredicate& fails,
+                            const ShrinkOptions& opts) {
+  ShrinkResult result;
+  result.scenario = input;
+  Budget budget{opts.maxEvaluations};
+  scenario::Scenario& cur = result.scenario;
+
+  // Pass 1: drop whole obstacles (few of them, large effect on the case's
+  // readability). Scanned back to front so erasing keeps earlier indices.
+  for (std::size_t i = cur.obstacles.size(); i-- > 0 && budget.remaining > 0;) {
+    auto obstacles = cur.obstacles;
+    obstacles.erase(obstacles.begin() + static_cast<std::ptrdiff_t>(i));
+    if (tryAccept(cur, cur.points, std::move(obstacles), fails, opts, budget)) {
+      result.shrunk = true;
+    }
+  }
+
+  // Pass 2: ddmin over the points. Chunk sizes halve; after any accepted
+  // removal the scan restarts at the same granularity on the smaller set.
+  std::size_t chunk = cur.points.size() / 2;
+  while (chunk >= 1 && budget.remaining > 0) {
+    bool improved = false;
+    for (std::size_t start = 0; start < cur.points.size() && budget.remaining > 0;) {
+      std::vector<geom::Vec2> points;
+      points.reserve(cur.points.size());
+      const std::size_t end = std::min(cur.points.size(), start + chunk);
+      for (std::size_t i = 0; i < cur.points.size(); ++i) {
+        if (i < start || i >= end) points.push_back(cur.points[i]);
+      }
+      if (tryAccept(cur, std::move(points), cur.obstacles, fails, opts, budget)) {
+        result.shrunk = true;
+        improved = true;
+        // cur shrank; the chunk that used to start here is gone.
+      } else {
+        start += chunk;
+      }
+    }
+    if (!improved || chunk == 1) {
+      if (chunk == 1 && !improved) break;
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+
+  result.evaluations = opts.maxEvaluations - std::max(0, budget.remaining);
+  return result;
+}
+
+}  // namespace hybrid::testkit

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "scenario/generator.hpp"
+
+namespace hybrid::testkit {
+
+/// True when the failure of interest reproduces on the candidate scenario.
+/// The shrinker only keeps candidates this predicate accepts, so the final
+/// scenario fails for the same reason the original did.
+using FailurePredicate = std::function<bool(const scenario::Scenario&)>;
+
+struct ShrinkOptions {
+  /// Stop removing points once a candidate would drop below this many nodes.
+  std::size_t minNodes = 8;
+  /// Hard cap on predicate evaluations (each one rebuilds the full
+  /// pipeline, so this bounds shrink time on large scenarios).
+  int maxEvaluations = 250;
+};
+
+struct ShrinkResult {
+  scenario::Scenario scenario;  ///< Smallest failing scenario found.
+  int evaluations = 0;          ///< Predicate calls spent.
+  bool shrunk = false;          ///< Whether anything was removed.
+};
+
+/// Greedy delta-debugging over the scenario: repeatedly drops obstacle
+/// polygons and ever-smaller chunks of points, re-finalizing each candidate
+/// (dedup + largest-UDG-component, exactly like every other scenario
+/// source) and keeping it only when the failure still reproduces. Fully
+/// deterministic — same input and predicate, same result.
+///
+/// `fails(input)` is assumed true; the input is returned unchanged when no
+/// smaller failing scenario is found within the evaluation budget.
+ShrinkResult shrinkScenario(const scenario::Scenario& input, const FailurePredicate& fails,
+                            const ShrinkOptions& opts = {});
+
+}  // namespace hybrid::testkit

@@ -1,0 +1,56 @@
+// Replays every recorded fuzz finding in tests/corpus/ through the full
+// oracle registry. Each JSON file is a scenario the fuzzer once shrank
+// from a real (or deliberately injected) failure; replaying them on every
+// build turns past findings into permanent regression checks. The suite
+// also runs under the ASan/UBSan and TSan CI jobs, so each case doubles as
+// a sanitizer workload.
+//
+// Reproducing a case by hand:
+//   ./tools/fuzz_router --replay ../tests/corpus/<case>.json
+// Regenerating the unshrunk input: the "generator" + "seed" fields name
+// the testkit generator call that produced the original scenario.
+
+#include <gtest/gtest.h>
+
+#include "testkit/corpus.hpp"
+#include "testkit/harness.hpp"
+
+#ifndef HYBRID_CORPUS_DIR
+#error "HYBRID_CORPUS_DIR must point at tests/corpus (set in tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace hybrid::testkit;
+
+TEST(CorpusRegression, CorpusIsPresentAndParses) {
+  const auto files = listCorpus(HYBRID_CORPUS_DIR);
+  ASSERT_FALSE(files.empty()) << "no corpus cases under " << HYBRID_CORPUS_DIR;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    const auto c = loadCase(path);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_FALSE(c->generator.empty());
+    EXPECT_FALSE(c->oracle.empty());
+    EXPECT_GE(c->scenario.points.size(), 4u);
+    // The writer/reader pair is lossless: re-serializing reproduces the
+    // file byte for byte (modulo what the file was saved with).
+    const auto reparsed = fromJson(toJson(*c));
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(toJson(*reparsed), toJson(*c));
+  }
+}
+
+TEST(CorpusRegression, AllCasesReplayClean) {
+  const auto files = listCorpus(HYBRID_CORPUS_DIR);
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    const auto c = loadCase(path);
+    ASSERT_TRUE(c.has_value());
+    const std::string failure = replayCase(*c, 2);
+    EXPECT_EQ(failure, "") << "recorded case regressed: " << failure;
+  }
+}
+
+}  // namespace

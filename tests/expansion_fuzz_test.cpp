@@ -6,6 +6,7 @@
 #include <random>
 
 #include "geom/expansion.hpp"
+#include "testkit/rng.hpp"
 
 namespace hybrid::geom {
 namespace {
@@ -21,7 +22,8 @@ Expansion randomExpansion(std::mt19937& rng) {
 class ExpansionFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExpansionFuzz, RingAxiomsHoldExactly) {
-  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 71 + 9);
+  auto rng = testkit::loggedRng("expansion-ring-axioms",
+                                static_cast<unsigned>(GetParam()) * 71 + 9);
   for (int it = 0; it < 200; ++it) {
     const Expansion a = randomExpansion(rng);
     const Expansion b = randomExpansion(rng);
@@ -46,7 +48,8 @@ TEST_P(ExpansionFuzz, RingAxiomsHoldExactly) {
 }
 
 TEST_P(ExpansionFuzz, CompressionPreservesValue) {
-  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31 + 5);
+  auto rng = testkit::loggedRng("expansion-compression",
+                                static_cast<unsigned>(GetParam()) * 31 + 5);
   for (int it = 0; it < 200; ++it) {
     const Expansion a = randomExpansion(rng);
     EXPECT_EQ((a - a.compressed()).sign(), 0);

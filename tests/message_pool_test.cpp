@@ -126,6 +126,99 @@ graph::GeometricGraph gridGraph(int side) {
   return delaunay::buildUnitDiskGraph(pts, 1.0);
 }
 
+TEST(MessagePool, SlabBoundaryExhaustionAndReuse) {
+  // Slabs hold 256 messages. Acquiring 257 live slots must cross the slab
+  // boundary: handle 256 starts a second slab, and addresses handed out
+  // from the first slab stay stable across that growth.
+  MessagePool pool;
+  std::vector<MessagePool::Handle> handles;
+  for (int i = 0; i < 256; ++i) handles.push_back(pool.acquire());
+  EXPECT_EQ(pool.slabsAllocated(), 1);
+  EXPECT_EQ(pool.liveCount(), 256u);
+  const Message* firstSlot = &pool.get(handles[0]);
+
+  const auto overflow = pool.acquire();
+  EXPECT_EQ(pool.slabsAllocated(), 2);
+  EXPECT_EQ(pool.liveCount(), 257u);
+  EXPECT_NE(&pool.get(overflow), nullptr);
+  // Growing the pool did not move earlier slots.
+  EXPECT_EQ(&pool.get(handles[0]), firstSlot);
+
+  // Releasing everything and re-acquiring the same number of slots must
+  // reuse the freelist: no third slab, no new slot ids.
+  pool.release(overflow);
+  for (const auto h : handles) pool.release(h);
+  EXPECT_EQ(pool.liveCount(), 0u);
+  const std::size_t slots = pool.slotCount();
+  for (int i = 0; i < 257; ++i) {
+    const auto h = pool.acquire();
+    Message& m = pool.get(h);
+    EXPECT_TRUE(m.ints.empty());
+    EXPECT_TRUE(m.ids.empty());
+  }
+  EXPECT_EQ(pool.slotCount(), slots);
+  EXPECT_EQ(pool.slabsAllocated(), 2);
+}
+
+TEST(SmallVec, ExactlyAtInlineCapacityDoesNotSpill) {
+  const long before = util::detail::smallVecHeapAllocs().load();
+  util::SmallVec<int, 6> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.capacity(), 6u);
+  EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), before);
+
+  // Element N+1 is the first (and only) allocation.
+  v.push_back(6);
+  EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), before + 1);
+  EXPECT_GT(v.capacity(), 6u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, AssignAndResizeAtTheBoundary) {
+  const long before = util::detail::smallVecHeapAllocs().load();
+  util::SmallVec<int, 4> v;
+  const int four[] = {1, 2, 3, 4};
+  v.assign(four, four + 4);  // exactly at capacity: stays inline
+  EXPECT_EQ(v.capacity(), 4u);
+  v.resize(4);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), before);
+
+  v.resize(5);  // one past: spills exactly once, value-initializing the tail
+  EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), before + 1);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[3], 4);
+  EXPECT_EQ(v[4], 0);
+
+  // clear() keeps the spilled capacity; refilling to the old size is free.
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_EQ(v.capacity(), cap);
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), before + 1);
+}
+
+TEST(SmallVec, MoveOfInlineSourceIntoSpilledDestinationKeepsStorage) {
+  util::SmallVec<int, 4> dst;
+  for (int i = 0; i < 10; ++i) dst.push_back(i);  // dst owns a heap buffer
+  const std::size_t cap = dst.capacity();
+  ASSERT_GE(cap, 10u);
+
+  util::SmallVec<int, 4> src;
+  src.push_back(41);
+  src.push_back(42);
+
+  const long before = util::detail::smallVecHeapAllocs().load();
+  dst = std::move(src);  // inline-resident source: copied, storage kept
+  EXPECT_EQ(util::detail::smallVecHeapAllocs().load(), before);
+  EXPECT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.capacity(), cap);
+  EXPECT_EQ(dst[0], 41);
+  EXPECT_EQ(dst[1], 42);
+  EXPECT_TRUE(src.empty());
+}
+
 TEST(MessagePool, SimulatorReachesAllocationFreeSteadyState) {
   const auto g = gridGraph(8);
   Simulator sim(g);

@@ -11,6 +11,9 @@
 #include "routing/overlay_graph.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/shapes.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/rng.hpp"
 
 namespace hybrid::routing {
 namespace {
@@ -187,6 +190,106 @@ TEST(OverlayParity, IncrementalEngineMatchesLegacyRebuild) {
     }
   }
   EXPECT_GE(checked, 200);
+}
+
+/// Regression for the grazing-segment class: queries whose endpoint-site
+/// segments run exactly along hull edges or through hull corners. The
+/// engine tests visibility endpoint-first; before the orientation fix the
+/// asymmetric visible() verdicts on such segments made the incremental
+/// answer diverge from the rebuild. Exact coordinates, no jitter: two
+/// axis-aligned square hulls with aligned edge lines, hand-picked queries
+/// collinear with the shared edge lines and diagonals through corners,
+/// checked in both orientations and both edge modes against the testkit's
+/// rebuild + dijkstra ground truth.
+TEST(OverlayParity, GrazingSegmentsMatchRebuild) {
+  // Two square holes; the corridor x in [2, 4] separates them. Extra
+  // corridor nodes keep the "LDel" point set more than just hull corners.
+  const std::vector<geom::Vec2> pts = {
+      {0, 0}, {2, 0}, {2, 2}, {0, 2},  // square A corners (sites 0-3)
+      {4, 0}, {6, 0}, {6, 2}, {4, 2},  // square B corners (sites 4-7)
+      {3, 1}, {3, 3}, {3, -1},         // corridor nodes
+  };
+  graph::GeometricGraph ldel(pts);
+  const std::vector<std::vector<graph::NodeId>> rings = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  const std::vector<geom::Polygon> holes = {
+      geom::Polygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}}),
+      geom::Polygon({{4, 0}, {6, 0}, {6, 2}, {4, 2}}),
+  };
+
+  const std::vector<std::pair<geom::Vec2, geom::Vec2>> queries = {
+      {{-1, 0}, {7, 0}},    // collinear with both bottom edges (y = 0)
+      {{-1, 2}, {7, 2}},    // collinear with both top edges (y = 2)
+      {{-1, -1}, {3, 3}},   // diagonal through corner (2, 2)
+      {{3, -1}, {7, 3}},    // diagonal through corner (4, 0)... grazing B
+      {{2, 3}, {4, -1}},    // crosses the corridor touching both hulls
+      {{-1, 1}, {7, 1}},    // blocked by both holes: must route around
+      {{2, 0}, {4, 2}},     // site corner to site corner across the gap
+      {{3, 1}, {3, 3}},     // node-coincident endpoints in the corridor
+  };
+
+  for (const EdgeMode em : {EdgeMode::Visibility, EdgeMode::Delaunay}) {
+    const OverlayGraph overlay(ldel, rings, holes, em);
+    ASSERT_EQ(overlay.sites().size(), 8u);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto [a, b] = queries[q];
+      for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+        const auto ref = testkit::referenceOverlayQuery(overlay, from, to);
+        const auto fresh = overlay.waypointsWithDistance(from, to);
+        ASSERT_EQ(fresh.reachable, ref.reachable)
+            << "mode=" << static_cast<int>(em) << " q=" << q;
+        if (!fresh.reachable) continue;
+        EXPECT_NEAR(fresh.distance, ref.distance, 1e-9)
+            << "mode=" << static_cast<int>(em) << " q=" << q;
+        if (fresh.waypoints != ref.waypoints) {
+          double len = 0.0;
+          geom::Vec2 prev = from;
+          for (graph::NodeId w : fresh.waypoints) {
+            len += geom::dist(prev, ldel.position(w));
+            prev = ldel.position(w);
+          }
+          len += geom::dist(prev, to);
+          EXPECT_NEAR(len, ref.distance, 1e-9)
+              << "mode=" << static_cast<int>(em) << " q=" << q;
+        }
+      }
+    }
+  }
+}
+
+/// The same failure class hunted statistically: the hull_tangent generator
+/// builds low-jitter twin-rectangle deployments whose hole hulls run
+/// parallel and nearly touch, so endpoint visibility segments keep grazing
+/// hull corners. Full-pipeline networks, engine vs rebuild ground truth.
+TEST(OverlayParity, HullTangentSweepMatchesRebuild) {
+  int checked = 0;
+  const auto* gen = testkit::findGenerator("hull_tangent");
+  ASSERT_NE(gen, nullptr);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto sc = gen->make(seed);
+    const core::HybridNetwork net(sc.points, sc.radius);
+    const auto router = net.makeRouter({SiteMode::HullNodes, EdgeMode::Visibility, true});
+    const OverlayGraph& overlay = router->overlay();
+    if (overlay.sites().empty()) continue;
+
+    // Probe along the tangent band: horizontal sweeps at the hull top/
+    // bottom edge heights plus random endpoints around them.
+    const auto bbox = geom::BBox::of(net.ldel().positions());
+    std::mt19937_64 rng(testkit::deriveSeed(seed, 0x74616e67));
+    std::uniform_real_distribution<double> dx(bbox.lo.x, bbox.hi.x);
+    std::uniform_real_distribution<double> dy(bbox.lo.y, bbox.hi.y);
+    for (int q = 0; q < 12; ++q) {
+      const geom::Vec2 a{dx(rng), dy(rng)};
+      const geom::Vec2 b{dx(rng), dy(rng)};
+      const auto ref = testkit::referenceOverlayQuery(overlay, a, b);
+      const auto fresh = overlay.waypointsWithDistance(a, b);
+      ASSERT_EQ(fresh.reachable, ref.reachable) << "seed=" << seed << " q=" << q;
+      if (fresh.reachable) {
+        EXPECT_NEAR(fresh.distance, ref.distance, 1e-6) << "seed=" << seed << " q=" << q;
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 36);
 }
 
 }  // namespace

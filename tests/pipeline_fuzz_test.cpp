@@ -12,6 +12,7 @@
 #include "graph/shortest_path.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/shapes.hpp"
+#include "testkit/rng.hpp"
 
 namespace hybrid {
 namespace {
@@ -20,7 +21,8 @@ class PipelineFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(PipelineFuzz, InvariantBattery) {
   const int seed = GetParam();
-  std::mt19937 rng(static_cast<unsigned>(seed) * 977 + 13);
+  auto rng = testkit::loggedRng("pipeline-fuzz-battery",
+                                static_cast<unsigned>(seed) * 977 + 13);
   std::uniform_real_distribution<double> uni(0.0, 1.0);
 
   scenario::ScenarioParams p;

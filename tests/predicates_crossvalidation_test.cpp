@@ -8,6 +8,7 @@
 #include <random>
 
 #include "geom/predicates.hpp"
+#include "testkit/rng.hpp"
 
 namespace hybrid::geom {
 namespace {
@@ -39,7 +40,8 @@ int inCircleInt(long ax, long ay, long bx, long by, long cx, long cy, long dx, l
 class CrossValidation : public ::testing::TestWithParam<int> {};
 
 TEST_P(CrossValidation, OrientMatchesIntegerTruth) {
-  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 101 + 7);
+  auto rng = testkit::loggedRng("predicates-crossvalidation",
+                                static_cast<unsigned>(GetParam()) * 101 + 7);
   // Mix of ranges; small ranges produce many exact collinearities.
   const long ranges[] = {4, 64, 100000};
   for (const long range : ranges) {

@@ -10,6 +10,7 @@
 #include "core/hybrid_network.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/shapes.hpp"
+#include "testkit/rng.hpp"
 
 namespace hybrid {
 namespace {
@@ -35,7 +36,7 @@ TEST(Stress, TwentyThousandNodes) {
   EXPECT_LT(buildMs, 60000) << "construction took " << buildMs << " ms";
   EXPECT_EQ(net.ldelResult().removedCrossings, 0);
 
-  std::mt19937 rng(5);
+  auto rng = testkit::loggedRng("stress-routes", 5);
   std::uniform_int_distribution<int> pick(0, static_cast<int>(sc.points.size()) - 1);
   int fallbacks = 0;
   for (int it = 0; it < 40; ++it) {

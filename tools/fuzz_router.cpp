@@ -1,0 +1,130 @@
+// Property-based fuzzing driver for the hybrid-routing pipeline.
+//
+// Runs N seeded trials; each trial generates an adversarial scenario (one
+// of the testkit generators, round-robin), builds the full pipeline and
+// checks every differential oracle and paper invariant. Failing cases are
+// greedily shrunk and written as replayable JSON into the corpus directory,
+// where corpus_regression_test picks them up forever after.
+//
+// The run is deterministic: `fuzz_router --trials 500 --seed 1` prints the
+// same summary on every invocation and at every --threads value (the
+// parallel code paths under test are thread-count-invariant — that
+// invariance is itself one of the properties checked).
+//
+// Examples:
+//   fuzz_router --trials 500 --seed 1
+//   fuzz_router --trials 50 --seed 7 --corpus tests/corpus
+//   fuzz_router --trials 25 --inject-bug drop-overlay-waypoint --corpus /tmp/corpus
+//   fuzz_router --replay tests/corpus/some_case.json
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "testkit/harness.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: fuzz_router [options]\n"
+      "  --trials N        number of trials (default 100)\n"
+      "  --seed S          master seed; trial t uses deriveSeed(S, t) (default 1)\n"
+      "  --threads K       thread count for the parallel paths under test (default 2)\n"
+      "  --corpus DIR      shrink + record failing cases as JSON under DIR\n"
+      "  --inject-bug B    plant a deliberate defect: drop-overlay-waypoint |\n"
+      "                    inflate-overlay-distance (default none)\n"
+      "  --shrink-min N    do not shrink below N nodes (default 8)\n"
+      "  --replay FILE     replay one corpus case instead of fuzzing\n"
+      "  --list            list generators, oracles and injectable bugs\n"
+      "  --verbose         per-trial progress lines\n");
+}
+
+int replay(const std::string& path, int threads) {
+  const auto c = hybrid::testkit::loadCase(path);
+  if (!c) {
+    std::fprintf(stderr, "fuzz_router: cannot parse corpus case %s\n", path.c_str());
+    return 2;
+  }
+  const std::string failure = hybrid::testkit::replayCase(*c, threads);
+  if (failure.empty()) {
+    std::printf("replay %s: pass (generator=%s seed=%llu n=%zu)\n", path.c_str(),
+                c->generator.c_str(), static_cast<unsigned long long>(c->seed),
+                c->scenario.points.size());
+    return 0;
+  }
+  std::printf("replay %s: FAIL %s\n", path.c_str(), failure.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hybrid::testkit::FuzzOptions opts;
+  std::string replayPath;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fuzz_router: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trials") {
+      opts.trials = std::atoi(value());
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--threads") {
+      opts.threads = std::atoi(value());
+    } else if (arg == "--corpus") {
+      opts.corpusDir = value();
+    } else if (arg == "--inject-bug") {
+      const char* name = value();
+      opts.bug = hybrid::testkit::parseInjectedBug(name);
+      if (opts.bug == hybrid::testkit::InjectedBug::None && std::strcmp(name, "none") != 0) {
+        std::fprintf(stderr, "fuzz_router: unknown bug '%s'\n", name);
+        return 2;
+      }
+    } else if (arg == "--shrink-min") {
+      opts.shrink.minNodes = static_cast<std::size_t>(std::atoi(value()));
+    } else if (arg == "--replay") {
+      replayPath = value();
+    } else if (arg == "--list") {
+      std::printf("generators:\n");
+      for (const auto& g : hybrid::testkit::generators()) std::printf("  %s\n", g.name);
+      std::printf("oracles:\n");
+      for (const auto& o : hybrid::testkit::oracles()) std::printf("  %s\n", o.name);
+      std::printf("bugs:\n  drop-overlay-waypoint\n  inflate-overlay-distance\n");
+      return 0;
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "fuzz_router: unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (!replayPath.empty()) return replay(replayPath, opts.threads);
+
+  if (!opts.corpusDir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.corpusDir, ec);
+    if (ec) {
+      std::fprintf(stderr, "fuzz_router: cannot create corpus dir %s: %s\n",
+                   opts.corpusDir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
+  const auto summary = hybrid::testkit::runFuzz(opts);
+  std::fputs(summary.report().c_str(), stdout);
+  return summary.allPassed() ? 0 : 1;
+}
