@@ -100,7 +100,8 @@ int main() {
   std::printf("  \"experiment\": \"e16_fault_tolerance\",\n");
   std::printf("  \"n\": %zu,\n", net.udg().numNodes());
   std::printf("  \"holes\": %zu,\n", net.holes().holes.size());
-  std::printf("  \"retryPolicy\": {\"baseTimeout\": 3, \"maxTimeout\": 32, \"maxAttempts\": 16},\n");
+  std::printf(
+      "  \"retryPolicy\": {\"baseTimeout\": 3, \"maxTimeout\": 32, \"maxAttempts\": 16},\n");
   std::printf("  \"sweep\": [\n");
   bool first = true;
   for (const double loss : lossRates) {

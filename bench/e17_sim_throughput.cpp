@@ -10,8 +10,16 @@
 // neighbor every round — on the same graphs; each timed run is preceded by
 // an untimed warm-up run so both sides are measured in steady state.
 //
-// Usage: e17_sim_throughput [--smoke]
-//   --smoke  tiny sweep (CI): one small graph, threads {1, 2}.
+// Usage: e17_sim_throughput [--smoke | --gate] [--metrics FILE]
+//   --smoke         tiny sweep (CI correctness check): one small graph,
+//                   threads {1, 2}. Timed regions are sub-millisecond --
+//                   fast, but far too noisy to gate on.
+//   --gate          mid-size sweep for the CI perf gate: one config sized so
+//                   every timed region is tens of milliseconds (stable
+//                   ratios) while the whole run stays under a few seconds.
+//   --metrics FILE  record per-config throughput/speedup gauges and write an
+//                   obs snapshot (consumed by the CI bench gate via
+//                   tools/metrics_report --check).
 
 #include <algorithm>
 #include <chrono>
@@ -23,6 +31,8 @@
 #include <vector>
 
 #include "delaunay/udg.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/simulator.hpp"
 
 using namespace hybrid;
@@ -192,19 +202,39 @@ Measurement measurePooled(const graph::GeometricGraph& g, int rounds, int thread
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool gate = false;
+  std::string metricsPath;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metricsPath = argv[++i];
+    }
+  }
+  if (gate) smoke = false;
+  if (!metricsPath.empty()) {
+    if (!obs::kCompiledIn) {
+      std::fprintf(stderr, "e17_sim_throughput: --metrics requested but observability was "
+                           "compiled out (HYBRID_OBS_DISABLED)\n");
+      return 2;
+    }
+    obs::setEnabled(true);
   }
 
-  const std::vector<int> sizes = smoke ? std::vector<int>{300}
-                                       : std::vector<int>{1000, 4000, 10000};
-  const std::vector<int> threadCounts = smoke ? std::vector<int>{1, 2}
-                                              : std::vector<int>{1, 2, 4, 8};
-  const int rounds = smoke ? 10 : 50;
+  const std::vector<int> sizes = smoke  ? std::vector<int>{300}
+                                 : gate ? std::vector<int>{2000}
+                                        : std::vector<int>{1000, 4000, 10000};
+  const std::vector<int> threadCounts = (smoke || gate) ? std::vector<int>{1, 2}
+                                                        : std::vector<int>{1, 2, 4, 8};
+  const int rounds = smoke ? 10 : gate ? 60 : 50;
 
   std::printf("{\n");
   std::printf("  \"experiment\": \"e17_sim_throughput\",\n");
-  std::printf("  \"workload\": \"gossip: every node sends 4 payload words to every UDG neighbor, every round\",\n");
+  std::printf(
+      "  \"workload\": \"gossip: every node sends 4 payload words to every UDG "
+      "neighbor, every round\",\n");
   std::printf("  \"rounds\": %d,\n", rounds);
   std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::printf("  \"configs\": [\n");
@@ -219,21 +249,42 @@ int main(int argc, char** argv) {
     if (!firstCfg) std::printf(",\n");
     firstCfg = false;
     std::printf("    {\"n\": %d, \"edges\": %ld,\n", n, edges);
-    std::printf("     \"legacy\": {\"messages\": %ld, \"seconds\": %.4f, \"messagesPerSec\": %.0f},\n",
+    std::printf("     \"legacy\": {\"messages\": %ld, \"seconds\": %.4f, "
+                "\"messagesPerSec\": %.0f},\n",
                 legacy.messages, legacy.secs, legacy.mps());
+    HYBRID_OBS_STMT(if (obs::enabled()) {
+      obs::Registry::global()
+          .gauge("bench.e17.legacy.messages_per_s.n" + std::to_string(n))
+          .set(legacy.mps());
+    });
     std::printf("     \"pooled\": [\n");
     bool firstT = true;
     for (const int t : threadCounts) {
       const Measurement m = measurePooled(g, rounds, t);
       if (!firstT) std::printf(",\n");
       firstT = false;
+      const double speedup = legacy.mps() > 0.0 ? m.mps() / legacy.mps() : 0.0;
       std::printf("       {\"threads\": %d, \"messages\": %ld, \"seconds\": %.4f, "
                   "\"messagesPerSec\": %.0f, \"speedupVsLegacy\": %.2f}",
-                  t, m.messages, m.secs, m.mps(),
-                  legacy.mps() > 0.0 ? m.mps() / legacy.mps() : 0.0);
+                  t, m.messages, m.secs, m.mps(), speedup);
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        const std::string key = ".n" + std::to_string(n) + ".t" + std::to_string(t);
+        auto& reg = obs::Registry::global();
+        reg.gauge("bench.e17.pooled.messages_per_s" + key).set(m.mps());
+        // Machine-independent ratio: this is what the CI bench gate checks.
+        reg.gauge("bench.e17.pooled.speedup_vs_legacy" + key).set(speedup);
+      });
     }
     std::printf("\n     ]}");
   }
   std::printf("\n  ]\n}\n");
+
+  if (!metricsPath.empty()) {
+    if (!obs::saveSnapshot(metricsPath, obs::capture())) {
+      std::fprintf(stderr, "e17_sim_throughput: cannot write metrics snapshot %s\n",
+                   metricsPath.c_str());
+      return 2;
+    }
+  }
   return 0;
 }

@@ -10,19 +10,29 @@
 // both sides are measured in steady state; best-of-3 guards against
 // machine noise.
 //
-// Usage: e18_route_throughput [--smoke]
-//   --smoke  tiny sweep (CI): one small deployment, threads {1, 2}.
+// Usage: e18_route_throughput [--smoke | --gate] [--metrics FILE]
+//   --smoke         tiny sweep (CI correctness check): one small deployment,
+//                   threads {1, 2}.
+//   --gate          mid-size sweep for the CI perf gate: one config sized so
+//                   every timed region is tens of milliseconds (stable
+//                   ratios) while the whole run stays under a few seconds.
+//   --metrics FILE  record per-config throughput/speedup gauges and write an
+//                   obs snapshot (consumed by the CI bench gate via
+//                   tools/metrics_report --check).
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "delaunay/triangulation.hpp"
 #include "graph/shortest_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "routing/overlay_graph.hpp"
 
 using namespace hybrid;
@@ -117,16 +127,35 @@ Measurement measureBestOf(long queries, Fn&& run) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool gate = false;
+  std::string metricsPath;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metricsPath = argv[++i];
+    }
+  }
+  if (gate) smoke = false;
+  if (!metricsPath.empty()) {
+    if (!obs::kCompiledIn) {
+      std::fprintf(stderr, "e18_route_throughput: --metrics requested but observability was "
+                           "compiled out (HYBRID_OBS_DISABLED)\n");
+      return 2;
+    }
+    obs::setEnabled(true);
   }
 
   const std::vector<std::size_t> sizes =
-      smoke ? std::vector<std::size_t>{250} : std::vector<std::size_t>{500, 1000, 2000, 4000};
-  const std::vector<int> threadCounts = smoke ? std::vector<int>{1, 2}
-                                              : std::vector<int>{1, 2, 4, 8};
-  const std::size_t overlayQueries = smoke ? 200 : 2000;
-  const std::size_t routeQueries = smoke ? 100 : 1000;
+      smoke  ? std::vector<std::size_t>{250}
+      : gate ? std::vector<std::size_t>{500}
+             : std::vector<std::size_t>{500, 1000, 2000, 4000};
+  const std::vector<int> threadCounts = (smoke || gate) ? std::vector<int>{1, 2}
+                                                        : std::vector<int>{1, 2, 4, 8};
+  const std::size_t overlayQueries = smoke ? 200 : gate ? 500 : 2000;
+  const std::size_t routeQueries = smoke ? 100 : gate ? 400 : 1000;
 
   std::printf("{\n");
   std::printf("  \"experiment\": \"e18_route_throughput\",\n");
@@ -176,13 +205,20 @@ int main(int argc, char** argv) {
     firstCfg = false;
     std::printf("    {\"n\": %zu, \"holes\": %zu, \"sites\": %zu,\n", net.ldel().numNodes(),
                 net.holes().holes.size(), overlay.sites().size());
+    const double overlaySpeedup = legacy.qps() > 0.0 ? engine.qps() / legacy.qps() : 0.0;
     std::printf("     \"overlay\": {\"queries\": %ld,\n", legacy.queries);
     std::printf("       \"legacyRebuild\": {\"seconds\": %.4f, \"queriesPerSec\": %.0f},\n",
                 legacy.secs, legacy.qps());
     std::printf("       \"engine\": {\"seconds\": %.4f, \"queriesPerSec\": %.0f, "
                 "\"speedup\": %.2f}},\n",
-                engine.secs, engine.qps(),
-                legacy.qps() > 0.0 ? engine.qps() / legacy.qps() : 0.0);
+                engine.secs, engine.qps(), overlaySpeedup);
+    HYBRID_OBS_STMT(if (obs::enabled()) {
+      const std::string key = ".n" + std::to_string(n);
+      auto& reg = obs::Registry::global();
+      reg.gauge("bench.e18.overlay.engine.queries_per_s" + key).set(engine.qps());
+      // Machine-independent ratio: this is what the CI bench gate checks.
+      reg.gauge("bench.e18.overlay.speedup" + key).set(overlaySpeedup);
+    });
     std::printf("     \"routeBatch\": [\n");
     Measurement serial;
     bool firstT = true;
@@ -194,13 +230,29 @@ int main(int argc, char** argv) {
       if (t == 1) serial = m;
       if (!firstT) std::printf(",\n");
       firstT = false;
+      const double batchSpeedup = serial.qps() > 0.0 ? m.qps() / serial.qps() : 0.0;
       std::printf("       {\"threads\": %d, \"seconds\": %.4f, \"queriesPerSec\": %.0f, "
                   "\"speedupVsSerial\": %.2f}",
-                  t, m.secs, m.qps(),
-                  serial.qps() > 0.0 ? m.qps() / serial.qps() : 0.0);
+                  t, m.secs, m.qps(), batchSpeedup);
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        const std::string key = ".n" + std::to_string(n) + ".t" + std::to_string(t);
+        auto& reg = obs::Registry::global();
+        reg.gauge("bench.e18.route_batch.queries_per_s" + key).set(m.qps());
+        if (t > 1) {
+          reg.gauge("bench.e18.route_batch.speedup_vs_serial" + key).set(batchSpeedup);
+        }
+      });
     }
     std::printf("\n     ]}");
   }
   std::printf("\n  ]\n}\n");
+
+  if (!metricsPath.empty()) {
+    if (!obs::saveSnapshot(metricsPath, obs::capture())) {
+      std::fprintf(stderr, "e18_route_throughput: cannot write metrics snapshot %s\n",
+                   metricsPath.c_str());
+      return 2;
+    }
+  }
   return 0;
 }

@@ -39,6 +39,7 @@ void DijkstraWorkspace::run(const CsrAdjacency& g, NodeId source, NodeId target)
     const HeapItem top = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), minHeap);
     heap_.pop_back();
+    HYBRID_OBS_STMT(++heapPops_);
     if (top.d > dist_[static_cast<std::size_t>(top.v)]) continue;
     if (top.v == target) break;
     const auto nbs = g.neighbors(top.v);
@@ -47,6 +48,7 @@ void DijkstraWorkspace::run(const CsrAdjacency& g, NodeId source, NodeId target)
       const NodeId v = nbs[k];
       touch(v);
       const double nd = top.d + ws[k];
+      HYBRID_OBS_STMT(++relaxations_);
       if (nd < dist_[static_cast<std::size_t>(v)]) {
         dist_[static_cast<std::size_t>(v)] = nd;
         pred_[static_cast<std::size_t>(v)] = top.v;

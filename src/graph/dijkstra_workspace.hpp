@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "obs/metrics.hpp"
 
 namespace hybrid::graph {
 
@@ -48,6 +49,12 @@ class DijkstraWorkspace {
 
   static constexpr double kUnreached = std::numeric_limits<double>::infinity();
 
+  /// Edge relaxations performed since construction (cumulative across
+  /// runs). Observability-only: compiled out with HYBRID_OBS_DISABLED.
+  std::uint64_t relaxations() const { return relaxations_; }
+  /// Heap pops (settled + stale entries) since construction.
+  std::uint64_t heapPops() const { return heapPops_; }
+
  private:
   void ensureSize(std::size_t n);
 
@@ -62,6 +69,8 @@ class DijkstraWorkspace {
   std::vector<std::uint64_t> stamp_;
   std::uint64_t gen_ = 0;
   std::vector<HeapItem> heap_;
+  std::uint64_t relaxations_ = 0;
+  std::uint64_t heapPops_ = 0;
 };
 
 }  // namespace hybrid::graph

@@ -1,0 +1,140 @@
+#pragma once
+
+// Low-overhead observability primitives: thread-safe counters, gauges and
+// fixed-bucket histograms behind a process-wide Registry.
+//
+// Two off switches:
+//  - compile-out: building with -DHYBRID_OBS_DISABLED turns enabled() into
+//    a compile-time false, so every `if (obs::enabled()) ...` block and
+//    every HYBRID_OBS_STMT(...) is dead code the optimizer removes — hot
+//    loops carry exactly zero instrumentation instructions;
+//  - runtime: setEnabled(false), the default, short-circuits the same
+//    checks with a single relaxed atomic load.
+//
+// Metrics never feed back into behavior: instrumented code must produce
+// byte-identical traces, fault schedules and routing outputs with
+// observability on or off, at any thread count (obs_determinism_test).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hybrid::obs {
+
+#ifdef HYBRID_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+constexpr bool enabled() { return false; }
+inline void setEnabled(bool) {}
+/// Expands to nothing when observability is compiled out.
+#define HYBRID_OBS_STMT(...) ((void)0)
+#else
+inline constexpr bool kCompiledIn = true;
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+/// Runtime flag; false (the default) makes all instrumentation a no-op.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+void setEnabled(bool on);
+/// Expands to its argument when observability is compiled in.
+#define HYBRID_OBS_STMT(...) \
+  do {                       \
+    __VA_ARGS__;             \
+  } while (0)
+#endif
+
+/// Monotonic event count. add() is wait-free and safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar (sizes, throughputs, high-water marks).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (high-water mark semantics).
+  void max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Snapshot-friendly plain-data view of one histogram.
+struct HistogramData {
+  std::vector<double> bounds;          ///< Ascending upper bounds.
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (last = overflow).
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  bool operator==(const HistogramData&) const = default;
+};
+
+/// Fixed-bucket latency/size histogram. Bucket i counts values v with
+/// bounds[i-1] < v <= bounds[i] (bucket 0 is v <= bounds[0]); values above
+/// the last bound land in the overflow bucket. record() is wait-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v);
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t numBuckets() const { return buckets_.size(); }
+  std::uint64_t bucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  HistogramData data() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  // Sized once at construction, never resized (atomics are immovable).
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> metric map with create-once semantics and stable addresses: a
+/// returned reference stays valid for the process lifetime, so hot paths
+/// resolve a metric once and keep the pointer. Lookups lock; the metric
+/// operations themselves are lock-free.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is only consulted when the histogram is first created.
+  Histogram& histogram(const std::string& name, const std::vector<double>& bounds);
+
+  std::vector<std::pair<std::string, std::uint64_t>> counterValues() const;
+  std::vector<std::pair<std::string, double>> gaugeValues() const;
+  std::vector<std::pair<std::string, HistogramData>> histogramValues() const;
+
+  /// Zeroes every metric; registrations (names, bucket bounds) are kept.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hybrid::obs

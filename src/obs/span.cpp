@@ -1,0 +1,72 @@
+#include "obs/span.hpp"
+
+namespace hybrid::obs {
+
+namespace {
+// Per-thread span nesting: the node the next ScopedSpan is a child of.
+// Index into Tracer::nodes_; 0 is the root.
+thread_local int t_current = 0;
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+int Tracer::enter(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.empty()) nodes_.emplace_back();  // root
+  const int parent = t_current < static_cast<int>(nodes_.size()) ? t_current : 0;
+  auto& children = nodes_[static_cast<std::size_t>(parent)].children;
+  auto it = children.find(name);
+  int id;
+  if (it != children.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<int>(nodes_.size());
+    Node n;
+    n.name = name;
+    n.parent = parent;
+    nodes_.push_back(std::move(n));
+    nodes_[static_cast<std::size_t>(parent)].children.emplace(name, id);
+  }
+  t_current = id;
+  return id;
+}
+
+void Tracer::exit(int node, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A reset() between enter and exit invalidates the id; drop the sample.
+  if (node <= 0 || node >= static_cast<int>(nodes_.size())) return;
+  auto& n = nodes_[static_cast<std::size_t>(node)];
+  ++n.stats.count;
+  n.stats.totalNs += ns;
+  t_current = n.parent >= 0 ? n.parent : 0;
+}
+
+void Tracer::appendSubtree(int node, const std::string& prefix,
+                           std::vector<std::pair<std::string, SpanStats>>& out) const {
+  const auto& n = nodes_[static_cast<std::size_t>(node)];
+  std::string path;
+  if (node != 0) {
+    path = prefix.empty() ? n.name : prefix + "/" + n.name;
+    out.emplace_back(path, n.stats);
+  }
+  // std::map iterates children in name order: deterministic paths.
+  for (const auto& [name, child] : n.children) appendSubtree(child, path, out);
+}
+
+std::vector<std::pair<std::string, SpanStats>> Tracer::spanValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, SpanStats>> out;
+  if (!nodes_.empty()) appendSubtree(0, "", out);
+  return out;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+  t_current = 0;
+}
+
+}  // namespace hybrid::obs

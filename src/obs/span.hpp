@@ -1,0 +1,95 @@
+#pragma once
+
+// Scoped trace spans: RAII wall-clock timers aggregated into a
+// deterministic span tree. A span node is identified by its (parent, name)
+// pair, so the tree's *structure* — paths and visit counts — depends only
+// on what code ran, never on timing or thread interleaving; only the
+// accumulated durations vary between runs. Spans are meant for coarse
+// phases (an overlay build, a simulator run), not per-message events: each
+// enter/exit takes one mutex acquisition on the tracer.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hybrid::obs {
+
+struct SpanStats {
+  std::uint64_t count = 0;    ///< Completed visits.
+  std::uint64_t totalNs = 0;  ///< Wall-clock time summed over visits.
+};
+
+/// Process-wide span aggregator. Thread-safe; each thread nests spans
+/// independently (a worker thread's outermost span hangs off the root).
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Flattened tree in depth-first path order; paths join names with '/'.
+  std::vector<std::pair<std::string, SpanStats>> spanValues() const;
+
+  /// Drops all nodes and statistics.
+  void reset();
+
+ private:
+  friend class ScopedSpan;
+  int enter(const char* name);
+  void exit(int node, std::uint64_t ns);
+
+  struct Node {
+    std::string name;
+    int parent = -1;
+    std::map<std::string, int> children;
+    SpanStats stats;
+  };
+
+  void appendSubtree(int node, const std::string& prefix,
+                     std::vector<std::pair<std::string, SpanStats>>& out) const;
+
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;  ///< nodes_[0] is the unnamed root.
+};
+
+/// Times the enclosing scope into the global span tree. Constructing one
+/// while observability is disabled is a no-op (and stays a no-op even if
+/// the flag flips before destruction).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+#ifndef HYBRID_OBS_DISABLED
+    if (enabled()) {
+      node_ = Tracer::global().enter(name);
+      t0_ = std::chrono::steady_clock::now();
+    }
+#else
+    (void)name;
+#endif
+  }
+
+  ~ScopedSpan() {
+#ifndef HYBRID_OBS_DISABLED
+    if (node_ >= 0) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count();
+      Tracer::global().exit(node_, static_cast<std::uint64_t>(ns));
+    }
+#endif
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+#ifndef HYBRID_OBS_DISABLED
+  int node_ = -1;
+  std::chrono::steady_clock::time_point t0_;
+#endif
+};
+
+}  // namespace hybrid::obs

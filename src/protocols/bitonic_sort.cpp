@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace hybrid::protocols {
 
 namespace {
@@ -103,6 +105,11 @@ int BitonicSorter::run() {
   }
   BitonicProtocol proto(st, ring_, dims);
   const int rounds = sim_.run(proto);
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("proto.bitonic.sorts").add(1);
+    reg.counter("proto.bitonic.rounds").add(static_cast<std::uint64_t>(rounds));
+  });
 
   sorted_.assign(k, 0.0);
   for (std::size_t i = 0; i < k; ++i) {

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace hybrid::protocols {
 
 namespace {
@@ -241,6 +243,11 @@ int DominatingSetProtocol::run(int maxRounds) {
   } else {
     rounds = sim_.run(proto, maxRounds);
   }
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("proto.ds.runs").add(1);
+    reg.counter("proto.ds.rounds").add(static_cast<std::uint64_t>(rounds));
+  });
 
   result_.assign(chains_.size(), {});
   for (std::size_t c = 0; c < chains_.size(); ++c) {

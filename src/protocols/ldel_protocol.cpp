@@ -6,6 +6,7 @@
 
 #include "geom/angle.hpp"
 #include "geom/predicates.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/reliable.hpp"
 
 namespace hybrid::protocols {
@@ -182,6 +183,12 @@ DistributedLdel runLdelConstruction(sim::Simulator& simulator, double radius,
     out.rounds = simulator.run(proto);
   }
   out.messages = simulator.totalMessages();
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("proto.ldel.runs").add(1);
+    reg.counter("proto.ldel.rounds").add(static_cast<std::uint64_t>(out.rounds));
+    reg.counter("proto.ldel.messages").add(static_cast<std::uint64_t>(out.messages));
+  });
 
   out.graph = graph::GeometricGraph(simulator.udg().positions());
   // Gabriel edges (both endpoints computed them identically).

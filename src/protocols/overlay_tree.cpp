@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace hybrid::protocols {
 
 namespace {
@@ -315,6 +317,11 @@ OverlayTree buildOverlayTree(sim::Simulator& simulator, unsigned seed, int phase
   TreeBuild proto(st, seed, phases, budget);
   OverlayTree tree;
   tree.rounds = simulator.run(proto, phases * budget + 4);
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("proto.overlay_tree.builds").add(1);
+    reg.counter("proto.overlay_tree.rounds").add(static_cast<std::uint64_t>(tree.rounds));
+  });
   tree.phases = phases;
   tree.parent.resize(static_cast<std::size_t>(n));
   tree.children.resize(static_cast<std::size_t>(n));
@@ -342,6 +349,11 @@ int distributeHullInfo(sim::Simulator& simulator, const OverlayTree& tree,
   }
   HullDistribution proto(st);
   const int rounds = simulator.run(proto);
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("proto.overlay_tree.distributions").add(1);
+    reg.counter("proto.overlay_tree.dist_rounds").add(static_cast<std::uint64_t>(rounds));
+  });
   if (learned != nullptr) {
     learned->assign(st.size(), {});
     for (std::size_t v = 0; v < st.size(); ++v) {

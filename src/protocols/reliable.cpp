@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace hybrid::protocols {
 
 ReliableProtocol::ReliableProtocol(sim::Simulator& simulator, sim::Protocol& inner,
@@ -16,6 +18,18 @@ ReliableProtocol::ReliableProtocol(sim::Simulator& simulator, sim::Protocol& inn
 
 ReliableProtocol::~ReliableProtocol() {
   if (sim_.sendTap() == this) sim_.setSendTap(nullptr);
+  // The wrapper's lifetime brackets one reliable run: publish its ARQ
+  // totals when it goes out of scope.
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    const ReliableStats total = stats();
+    auto& reg = obs::Registry::global();
+    reg.counter("arq.retransmissions").add(static_cast<std::uint64_t>(total.retransmissions));
+    reg.counter("arq.acks").add(static_cast<std::uint64_t>(total.acks));
+    reg.counter("arq.duplicates_suppressed")
+        .add(static_cast<std::uint64_t>(total.duplicatesSuppressed));
+    reg.counter("arq.held_for_order").add(static_cast<std::uint64_t>(total.heldForOrder));
+    reg.counter("arq.abandoned").add(static_cast<std::uint64_t>(total.abandoned));
+  });
 }
 
 bool ReliableProtocol::onSend(sim::Message& m, int round) {

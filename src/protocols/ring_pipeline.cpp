@@ -6,6 +6,7 @@
 
 #include "geom/angle.hpp"
 #include "geom/polygon.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/reliable.hpp"
 
 namespace hybrid::protocols {
@@ -445,9 +446,24 @@ RingPipeline::RingPipeline(sim::Simulator& simulator, RingInputs inputs,
 }
 
 int RingPipeline::runPhase(sim::Protocol& phase) {
-  if (!withRetry_) return sim_.run(phase);
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    static obs::Counter& cPhases = reg.counter("proto.ring.phases");
+    cPhases.add(1);
+  });
+  if (!withRetry_) {
+    const int plainRounds = sim_.run(phase);
+    HYBRID_OBS_STMT(if (obs::enabled()) {
+      obs::Registry::global().counter("proto.ring.rounds").add(
+          static_cast<std::uint64_t>(plainRounds));
+    });
+    return plainRounds;
+  }
   ReliableProtocol reliable(sim_, phase, policy_);
   const int rounds = sim_.run(reliable);
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    obs::Registry::global().counter("proto.ring.rounds").add(static_cast<std::uint64_t>(rounds));
+  });
   reliableStats_.retransmissions += reliable.stats().retransmissions;
   reliableStats_.acks += reliable.stats().acks;
   reliableStats_.duplicatesSuppressed += reliable.stats().duplicatesSuppressed;

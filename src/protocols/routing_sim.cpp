@@ -1,5 +1,7 @@
 #include "protocols/routing_sim.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace hybrid::protocols {
 
 namespace {
@@ -90,6 +92,16 @@ TransmissionResult simulateTransmission(core::HybridNetwork& net,
     result.adHocMessages += st.sentAdHoc;
     result.longRangeMessages += st.sentLongRange;
   }
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("proto.transmission.runs").add(1);
+    reg.counter("proto.transmission.rounds").add(static_cast<std::uint64_t>(result.rounds));
+    reg.counter("proto.transmission.adhoc_messages")
+        .add(static_cast<std::uint64_t>(result.adHocMessages));
+    reg.counter("proto.transmission.longrange_messages")
+        .add(static_cast<std::uint64_t>(result.longRangeMessages));
+    if (result.delivered) reg.counter("proto.transmission.delivered").add(1);
+  });
   return result;
 }
 

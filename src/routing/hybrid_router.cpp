@@ -347,8 +347,8 @@ bool HybridRouter::routeWithinBay(std::vector<graph::NodeId>& path, graph::NodeI
 
 bool HybridRouter::escapeBay(std::vector<graph::NodeId>& path, const BayLocation& loc,
                              geom::Vec2 towards, int* fallbacks, int* bayExtremes) const {
-  const auto& bay =
-      abstractions_[static_cast<std::size_t>(loc.abstraction)].bays[static_cast<std::size_t>(loc.bay)];
+  const auto& bay = abstractions_[static_cast<std::size_t>(loc.abstraction)]
+                        .bays[static_cast<std::size_t>(loc.bay)];
   const geom::Vec2 cur = g_.position(path.back());
   const double costFrom = geom::dist(cur, g_.position(bay.hullFrom)) +
                           geom::dist(g_.position(bay.hullFrom), towards);

@@ -8,19 +8,46 @@
 #include "delaunay/triangulation.hpp"
 #include "graph/dijkstra_workspace.hpp"
 #include "graph/shortest_path.hpp"
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 namespace hybrid::routing {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
+
+#ifndef HYBRID_OBS_DISABLED
+/// Registry handles resolved once; hot queries only touch the atomics.
+struct QueryMetrics {
+  obs::Counter& incremental;
+  obs::Counter& rebuild;
+  obs::Counter& direct;
+  obs::Counter& visRun;
+  obs::Counter& visPruned;
+  obs::Counter& wsReuse;
+  obs::Counter& wsGrow;
+
+  static QueryMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static QueryMetrics m{reg.counter("overlay.query.incremental"),
+                          reg.counter("overlay.query.rebuild"),
+                          reg.counter("overlay.query.direct"),
+                          reg.counter("overlay.vis_tests.run"),
+                          reg.counter("overlay.vis_tests.pruned"),
+                          reg.counter("overlay.workspace.reuse_hits"),
+                          reg.counter("overlay.workspace.grows")};
+    return m;
+  }
+};
+#endif
+}  // namespace
 
 OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
                            const holes::HoleAnalysis& analysis,
                            const std::vector<abstraction::HoleAbstraction>& abstractions,
                            SiteMode siteMode, EdgeMode edgeMode)
     : vis_(analysis.holePolygons()), edgeMode_(edgeMode) {
+  obs::ScopedSpan buildSpan("overlay.build");
   // Collect sites and remember per-site local index.
   std::map<graph::NodeId, int> local;
   auto addSite = [&](graph::NodeId v) {
@@ -79,6 +106,7 @@ OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
                            const std::vector<std::vector<graph::NodeId>>& siteRings,
                            std::vector<geom::Polygon> obstacles, EdgeMode edgeMode)
     : vis_(std::move(obstacles)), edgeMode_(edgeMode) {
+  obs::ScopedSpan buildSpan("overlay.build");
   std::map<graph::NodeId, int> local;
   for (const auto& ring : siteRings) {
     for (graph::NodeId v : ring) {
@@ -100,6 +128,7 @@ OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
 }
 
 void OverlayGraph::buildSiteEdges() {
+  obs::ScopedSpan span("site_edges");
   if (edgeMode_ == EdgeMode::Visibility) {
     siteAdj_ = geom::buildVisibilityAdjacency(sitePos_, vis_);
     for (const auto& a : siteAdj_) precomputedEdges_ += a.size();
@@ -124,6 +153,7 @@ void OverlayGraph::buildSiteEdges() {
 }
 
 void OverlayGraph::buildSitePairTable() {
+  obs::ScopedSpan span("site_table");
   const std::size_t h = sitePos_.size();
   // Delaunay queries re-triangulate with the endpoints inserted, so the
   // static site graph cannot answer them; only visibility mode serves
@@ -150,6 +180,21 @@ void OverlayGraph::buildSitePairTable() {
         predRow[j] = ws.pred(static_cast<graph::NodeId>(j));
       }
     }
+    // One flush per chunk; the relaxation total is the sum over source
+    // sites, so it is identical at every thread count.
+    HYBRID_OBS_STMT(if (obs::enabled()) {
+      auto& reg = obs::Registry::global();
+      static obs::Counter& cRelax = reg.counter("overlay.table.relaxations");
+      static obs::Counter& cPops = reg.counter("overlay.table.heap_pops");
+      cRelax.add(ws.relaxations());
+      cPops.add(ws.heapPops());
+    });
+  });
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("overlay.table.builds").add(1);
+    reg.counter("overlay.table.dijkstras").add(h);
+    reg.gauge("overlay.table.sites").set(static_cast<double>(h));
   });
 }
 
@@ -241,6 +286,7 @@ OverlayGraph::Query OverlayGraph::buildQueryGraph(geom::Vec2 from, geom::Vec2 to
 }
 
 void OverlayGraph::queryRebuild(geom::Vec2 from, geom::Vec2 to, OverlayRoute& out) const {
+  HYBRID_OBS_STMT(if (obs::enabled()) QueryMetrics::get().rebuild.add(1));
   const Query q = buildQueryGraph(from, to);
   const auto tree = graph::dijkstra(q.g, q.fromIdx, q.toIdx);
   out.distance = tree.dist[static_cast<std::size_t>(q.toIdx)];
@@ -257,6 +303,21 @@ void OverlayGraph::queryRebuild(geom::Vec2 from, geom::Vec2 to, OverlayRoute& ou
 
 void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
                                     OverlayQueryWorkspace& ws, OverlayRoute& out) const {
+#ifndef HYBRID_OBS_DISABLED
+  // Per-query tallies flush exactly once, whichever return path runs.
+  ws.obsVisRun_ = 0;
+  ws.obsVisPruned_ = 0;
+  struct ObsFlush {
+    const OverlayQueryWorkspace& ws;
+    ~ObsFlush() {
+      if (!obs::enabled()) return;
+      auto& m = QueryMetrics::get();
+      m.incremental.add(1);
+      m.visRun.add(ws.obsVisRun_);
+      m.visPruned.add(ws.obsVisPruned_);
+    }
+  } obsFlush{ws};
+#endif
   const std::size_t h = sitePos_.size();
   // Endpoints that coincide with a site enter the overlay there at cost 0,
   // exactly as the rebuilt query graph reused the site node.
@@ -292,11 +353,16 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
     // Visibility tests (endpoint-first orientation, matching the rebuilt
     // graph's edge tests) dominate the query cost, so they run lazily and
     // each verdict is cached for the query's lifetime.
+    HYBRID_OBS_STMT(if (obs::enabled()) {
+      auto& m = QueryMetrics::get();
+      (ws.entryVis_.capacity() >= h ? m.wsReuse : m.wsGrow).add(1);
+    });
     ws.entryVis_.assign(h, 0);
     ws.exitVis_.assign(h, 0);
     const auto entryVisible = [&](int i) {
       signed char& f = ws.entryVis_[static_cast<std::size_t>(i)];
       if (f == 0) {
+        HYBRID_OBS_STMT(++ws.obsVisRun_);
         f = vis_.visible(from, sitePos_[static_cast<std::size_t>(i)]) ? 1 : -1;
       }
       return f > 0;
@@ -304,6 +370,7 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
     const auto exitVisible = [&](int j) {
       signed char& f = ws.exitVis_[static_cast<std::size_t>(j)];
       if (f == 0) {
+        HYBRID_OBS_STMT(++ws.obsVisRun_);
         f = vis_.visible(to, sitePos_[static_cast<std::size_t>(j)]) ? 1 : -1;
       }
       return f > 0;
@@ -386,7 +453,10 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
       for (int i = 0; i < static_cast<int>(h); ++i) {
         const geom::Vec2 s = sitePos_[static_cast<std::size_t>(i)];
         const double leg = geom::dist(from, s);
-        if (leg + geom::dist(s, to) > bound) continue;
+        if (leg + geom::dist(s, to) > bound) {
+          HYBRID_OBS_STMT(++ws.obsVisPruned_);
+          continue;
+        }
         if (!entryVisible(i)) continue;
         ws.entryDist_[static_cast<std::size_t>(i)] = leg;
         ws.entrySites_.push_back(i);
@@ -399,7 +469,10 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
       for (int j = 0; j < static_cast<int>(h); ++j) {
         const geom::Vec2 s = sitePos_[static_cast<std::size_t>(j)];
         const double leg = geom::dist(s, to);
-        if (geom::dist(from, s) + leg > bound) continue;
+        if (geom::dist(from, s) + leg > bound) {
+          HYBRID_OBS_STMT(++ws.obsVisPruned_);
+          continue;
+        }
         if (!exitVisible(j)) continue;
         ws.exitDist_[static_cast<std::size_t>(j)] = leg;
         ws.exitSites_.push_back(j);
@@ -426,7 +499,10 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
   if (best == kInf) return;  // unreachable
   out.reachable = true;
   out.distance = best;
-  if (bestEntry < 0) return;  // direct visibility: no intermediate sites
+  if (bestEntry < 0) {  // direct visibility: no intermediate sites
+    HYBRID_OBS_STMT(if (obs::enabled()) QueryMetrics::get().direct.add(1));
+    return;
+  }
 
   ws.pathScratch_.clear();
   if (!sitePathLocal(bestEntry, bestExit, ws.pathScratch_)) {

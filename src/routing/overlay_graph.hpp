@@ -10,6 +10,7 @@
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "holes/hole_detection.hpp"
+#include "obs/metrics.hpp"
 
 namespace hybrid::routing {
 
@@ -56,6 +57,10 @@ class OverlayQueryWorkspace {
   std::vector<signed char> exitVis_;
   std::vector<double> seedLB_;  ///< Per-site Euclidean lower bounds (seed phase).
   std::vector<int> seedOrder_;  ///< Site indices sorted by seedLB_.
+  /// Per-query observability tallies, flushed into the global registry at
+  /// the end of each query (obs::enabled() only; never affect results).
+  std::uint64_t obsVisRun_ = 0;     ///< Visibility tests actually evaluated.
+  std::uint64_t obsVisPruned_ = 0;  ///< Sites skipped by the Euclidean bound.
 };
 
 /// The long-range overlay used to plan around radio holes. Sites are hole

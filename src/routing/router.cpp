@@ -1,11 +1,14 @@
 #include "routing/router.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 namespace hybrid::routing {
 
 std::vector<RouteResult> Router::routeBatch(std::span<const RoutePair> pairs,
                                             int threads) const {
+  obs::ScopedSpan span("router.route_batch");
   std::vector<RouteResult> results(pairs.size());
   util::parallelChunks(pairs.size(), util::resolveThreads(threads),
                        [&](std::size_t begin, std::size_t end, unsigned) {
@@ -13,6 +16,11 @@ std::vector<RouteResult> Router::routeBatch(std::span<const RoutePair> pairs,
                            results[i] = route(pairs[i].source, pairs[i].target);
                          }
                        });
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("router.batches").add(1);
+    reg.counter("router.batch_queries").add(static_cast<std::uint64_t>(pairs.size()));
+  });
   return results;
 }
 

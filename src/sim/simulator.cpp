@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 namespace hybrid::sim {
@@ -40,6 +41,10 @@ void Simulator::finishSend(Message&& m) {
     ++st.sentLongRange;
   }
   st.sentWords += static_cast<long>(m.words());
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    ++(m.link == Link::AdHoc ? obsTally_.sentAdHoc : obsTally_.sentLongRange);
+    obsTally_.sentWords += static_cast<long>(m.words());
+  });
   const MessagePool::Handle h = pool_.acquire();
   pool_.get(h) = std::move(m);
   pending_.push_back(h);
@@ -202,6 +207,7 @@ void Simulator::releaseAllInFlight() {
 }
 
 int Simulator::run(Protocol& protocol, int maxRounds) {
+  obs::ScopedSpan runSpan("sim.run");
   releaseAllInFlight();
   round_ = 0;
   const bool faulty = faults_.active();
@@ -238,12 +244,14 @@ int Simulator::run(Protocol& protocol, int maxRounds) {
         auto& sender = stats_[static_cast<std::size_t>(m.from)];
         if (faults_.crashed(m.to, round)) {
           ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
+          HYBRID_OBS_STMT(if (obs::enabled()) ++obsTally_.dropped);
           traceMessage(trace_, "XC", round, m);
           pool_.release(h);
           continue;
         }
         if (m.link == Link::LongRange && faults_.blackedOut(round)) {
           ++sender.droppedLongRange;
+          HYBRID_OBS_STMT(if (obs::enabled()) ++obsTally_.dropped);
           traceMessage(trace_, "XB", round, m);
           pool_.release(h);
           continue;
@@ -252,17 +260,20 @@ int Simulator::run(Protocol& protocol, int maxRounds) {
         switch (faults_.decide(round, i, m, &delayRounds)) {
           case FaultAction::Drop:
             ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
+            HYBRID_OBS_STMT(if (obs::enabled()) ++obsTally_.dropped);
             traceMessage(trace_, "XD", round, m);
             pool_.release(h);
             break;
           case FaultAction::Duplicate:
             ++sender.duplicated;
+            HYBRID_OBS_STMT(if (obs::enabled()) ++obsTally_.duplicated);
             traceMessage(trace_, "DU", round, m);
             inbox_.push_back(h);
             inbox_.push_back(h);
             break;
           case FaultAction::Delay:
             ++sender.delayed;
+            HYBRID_OBS_STMT(if (obs::enabled()) ++obsTally_.delayed);
             traceMessage(trace_, "DL", round, m);
             delayed_.emplace_back(round + delayRounds, h);
             break;
@@ -285,6 +296,7 @@ int Simulator::run(Protocol& protocol, int maxRounds) {
           if (faults_.crashed(m.to, round)) {
             auto& sender = stats_[static_cast<std::size_t>(m.from)];
             ++(m.link == Link::AdHoc ? sender.droppedAdHoc : sender.droppedLongRange);
+            HYBRID_OBS_STMT(if (obs::enabled()) ++obsTally_.dropped);
             traceMessage(trace_, "XC", round, m);
             pool_.release(h);
           } else {
@@ -299,6 +311,36 @@ int Simulator::run(Protocol& protocol, int maxRounds) {
     if (!inbox_.empty()) {
       sortInbox();
       const std::size_t mcount = inbox_.size();
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        obsTally_.delivered += static_cast<long>(mcount);
+        obsTally_.liveHighWater =
+            std::max(obsTally_.liveHighWater, static_cast<long>(pool_.liveCount()));
+        static obs::Histogram& hInbox = obs::Registry::global().histogram(
+            "sim.round.inbox_size", {16, 64, 256, 1024, 4096, 16384, 65536, 262144});
+        hInbox.record(static_cast<double>(mcount));
+        if (!serial) {
+          // Thread utilization: how the recipient-sorted inbox splits over
+          // the parallelChunks slices (same chunking formula, same keys).
+          static obs::Histogram& hChunk = obs::Registry::global().histogram(
+              "sim.chunk.delivered", {16, 64, 256, 1024, 4096, 16384, 65536, 262144});
+          const std::size_t chunkNodes = (n + threads - 1) / threads;
+          std::size_t start = 0;
+          for (unsigned c = 0; c < threads; ++c) {
+            const std::size_t nodeEnd =
+                std::min(n, static_cast<std::size_t>(c + 1) * chunkNodes);
+            const std::size_t cut = static_cast<std::size_t>(
+                std::lower_bound(keys_.begin(),
+                                 keys_.begin() + static_cast<std::ptrdiff_t>(mcount),
+                                 nodeEnd,
+                                 [](std::uint64_t k, std::size_t v) {
+                                   return static_cast<std::size_t>(k >> 32) < v;
+                                 }) -
+                keys_.begin());
+            hChunk.record(static_cast<double>(cut - start));
+            start = cut;
+          }
+        }
+      });
       util::parallelChunks(n, threads, [&](std::size_t b, std::size_t e, unsigned c) {
         ChunkBuf& cb = chunks_[c];
         // Locate this chunk's slice of the recipient-sorted inbox (the
@@ -352,7 +394,44 @@ int Simulator::run(Protocol& protocol, int maxRounds) {
   lastRounds_ = round;
   budget_.roundsUsed = round;
   budget_.overrun = budget_.budget > 0 && round > budget_.budget;
+  flushObs(round);
   return round;
+}
+
+void Simulator::flushObs(int rounds) {
+#ifndef HYBRID_OBS_DISABLED
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  static obs::Counter& cRuns = reg.counter("sim.runs");
+  static obs::Counter& cRounds = reg.counter("sim.rounds");
+  static obs::Counter& cSentAdHoc = reg.counter("sim.messages.sent_adhoc");
+  static obs::Counter& cSentLong = reg.counter("sim.messages.sent_longrange");
+  static obs::Counter& cWords = reg.counter("sim.words.sent");
+  static obs::Counter& cDelivered = reg.counter("sim.messages.delivered");
+  static obs::Counter& cDropped = reg.counter("sim.messages.dropped");
+  static obs::Counter& cDuplicated = reg.counter("sim.messages.duplicated");
+  static obs::Counter& cDelayed = reg.counter("sim.messages.delayed");
+  static obs::Counter& cOverruns = reg.counter("sim.budget.overruns");
+  static obs::Gauge& gSlabs = reg.gauge("sim.pool.slabs");
+  static obs::Gauge& gSlots = reg.gauge("sim.pool.slots");
+  static obs::Gauge& gLiveHigh = reg.gauge("sim.pool.live_high_water");
+  cRuns.add(1);
+  cRounds.add(static_cast<std::uint64_t>(rounds));
+  cSentAdHoc.add(static_cast<std::uint64_t>(obsTally_.sentAdHoc));
+  cSentLong.add(static_cast<std::uint64_t>(obsTally_.sentLongRange));
+  cWords.add(static_cast<std::uint64_t>(obsTally_.sentWords));
+  cDelivered.add(static_cast<std::uint64_t>(obsTally_.delivered));
+  cDropped.add(static_cast<std::uint64_t>(obsTally_.dropped));
+  cDuplicated.add(static_cast<std::uint64_t>(obsTally_.duplicated));
+  cDelayed.add(static_cast<std::uint64_t>(obsTally_.delayed));
+  if (budget_.overrun) cOverruns.add(1);
+  gSlabs.set(static_cast<double>(pool_.slabsAllocated()));
+  gSlots.set(static_cast<double>(pool_.slotCount()));
+  gLiveHigh.max(static_cast<double>(obsTally_.liveHighWater));
+  obsTally_ = ObsTally{};
+#else
+  (void)rounds;
+#endif
 }
 
 long Simulator::totalMessages() const {

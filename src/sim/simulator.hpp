@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/message.hpp"
 #include "sim/message_pool.hpp"
@@ -139,6 +140,23 @@ class Simulator {
     std::string trace;
   };
 
+  /// Driving-thread-only tallies mirrored into the obs registry when a run
+  /// finishes (obs::enabled() runs only). Kept as plain longs so the hot
+  /// path pays one relaxed flag load per event, no atomics; flushing is
+  /// one registry update per run. Metrics never affect behavior.
+  struct ObsTally {
+    long sentAdHoc = 0;
+    long sentLongRange = 0;
+    long sentWords = 0;
+    long delivered = 0;
+    long dropped = 0;
+    long duplicated = 0;
+    long delayed = 0;
+    long liveHighWater = 0;
+  };
+  /// Adds the run's tallies + pool/round stats to the global registry.
+  void flushObs(int rounds);
+
   /// Tap + stats + pool admission for one staged send (merge time).
   void finishSend(Message&& m);
   /// Drains every chunk's trace buffer, then outbox, in chunk order.
@@ -166,6 +184,7 @@ class Simulator {
   int lastRounds_ = 0;
   int round_ = 0;
   int threads_ = 1;
+  ObsTally obsTally_;
 
   // Round-scratch buffers; capacity recycles across rounds.
   std::vector<MessagePool::Handle> inbox_;

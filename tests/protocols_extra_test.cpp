@@ -128,7 +128,8 @@ TEST(PreprocessingExtra, CommunicationWorkIsPolylog) {
     const double a = 2.0 * std::numbers::pi * i / k;
     pts.push_back({1000.0 * std::cos(a), 1000.0 * std::sin(a)});
   }
-  const auto udg = delaunay::buildUnitDiskGraph(pts, 2.0 * 1000.0 * std::sin(std::numbers::pi / k) * 1.05);
+  const auto udg = delaunay::buildUnitDiskGraph(
+      pts, 2.0 * 1000.0 * std::sin(std::numbers::pi / k) * 1.05);
   sim::Simulator s(udg);
   std::vector<int> ring(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) ring[static_cast<std::size_t>(i)] = i;

@@ -23,6 +23,8 @@
 #include <filesystem>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "testkit/harness.hpp"
 
 namespace {
@@ -38,6 +40,7 @@ void usage() {
       "                    inflate-overlay-distance (default none)\n"
       "  --shrink-min N    do not shrink below N nodes (default 8)\n"
       "  --replay FILE     replay one corpus case instead of fuzzing\n"
+      "  --metrics FILE    enable observability and write an obs snapshot (JSON)\n"
       "  --list            list generators, oracles and injectable bugs\n"
       "  --verbose         per-trial progress lines\n");
 }
@@ -64,6 +67,7 @@ int replay(const std::string& path, int threads) {
 int main(int argc, char** argv) {
   hybrid::testkit::FuzzOptions opts;
   std::string replayPath;
+  std::string metricsPath;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
       opts.shrink.minNodes = static_cast<std::size_t>(std::atoi(value()));
     } else if (arg == "--replay") {
       replayPath = value();
+    } else if (arg == "--metrics") {
+      metricsPath = value();
     } else if (arg == "--list") {
       std::printf("generators:\n");
       for (const auto& g : hybrid::testkit::generators()) std::printf("  %s\n", g.name);
@@ -112,6 +118,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!metricsPath.empty()) {
+    if (!hybrid::obs::kCompiledIn) {
+      std::fprintf(stderr,
+                   "fuzz_router: --metrics requested but observability was compiled out "
+                   "(HYBRID_OBS_DISABLED)\n");
+      return 2;
+    }
+    hybrid::obs::setEnabled(true);
+  }
+
   if (!replayPath.empty()) return replay(replayPath, opts.threads);
 
   if (!opts.corpusDir.empty()) {
@@ -126,5 +142,17 @@ int main(int argc, char** argv) {
 
   const auto summary = hybrid::testkit::runFuzz(opts);
   std::fputs(summary.report().c_str(), stdout);
+
+  if (!metricsPath.empty()) {
+    const auto snap = hybrid::obs::capture();
+    if (!hybrid::obs::saveSnapshot(metricsPath, snap)) {
+      std::fprintf(stderr, "fuzz_router: cannot write metrics snapshot %s\n",
+                   metricsPath.c_str());
+      return 2;
+    }
+    std::printf("metrics snapshot: %s (%zu counters, %zu gauges, %zu histograms, %zu spans)\n",
+                metricsPath.c_str(), snap.counters.size(), snap.gauges.size(),
+                snap.histograms.size(), snap.spans.size());
+  }
   return summary.allPassed() ? 0 : 1;
 }
