@@ -181,6 +181,9 @@ Measurement measureLegacy(const graph::GeometricGraph& g, int rounds) {
 Measurement measurePooled(const graph::GeometricGraph& g, int rounds, int threads) {
   sim::Simulator s(g);
   s.setThreads(threads);
+  // Measure the requested configuration, not the hardware clamp: the gate
+  // ratios must describe the same sharded machinery on every box size.
+  s.setAllowOversubscribe(true);
   {
     GossipProtocol warm(rounds);  // warm-up: pool + scratch reach steady state
     s.run(warm);
@@ -226,8 +229,11 @@ int main(int argc, char** argv) {
   const std::vector<int> sizes = smoke  ? std::vector<int>{300}
                                  : gate ? std::vector<int>{2000}
                                         : std::vector<int>{1000, 4000, 10000};
-  const std::vector<int> threadCounts = (smoke || gate) ? std::vector<int>{1, 2}
-                                                        : std::vector<int>{1, 2, 4, 8};
+  // The gate sweeps {1, 2, 8} so the 8t/1t thread-scaling ratio is among the
+  // gated gauges; smoke stays tiny.
+  const std::vector<int> threadCounts = smoke  ? std::vector<int>{1, 2}
+                                        : gate ? std::vector<int>{1, 2, 8}
+                                               : std::vector<int>{1, 2, 4, 8};
   const int rounds = smoke ? 10 : gate ? 60 : 50;
 
   std::printf("{\n");
@@ -258,21 +264,29 @@ int main(int argc, char** argv) {
           .set(legacy.mps());
     });
     std::printf("     \"pooled\": [\n");
+    Measurement oneThread;
     bool firstT = true;
     for (const int t : threadCounts) {
       const Measurement m = measurePooled(g, rounds, t);
+      if (t == 1) oneThread = m;
       if (!firstT) std::printf(",\n");
       firstT = false;
       const double speedup = legacy.mps() > 0.0 ? m.mps() / legacy.mps() : 0.0;
+      const double scaling = oneThread.mps() > 0.0 ? m.mps() / oneThread.mps() : 0.0;
       std::printf("       {\"threads\": %d, \"messages\": %ld, \"seconds\": %.4f, "
-                  "\"messagesPerSec\": %.0f, \"speedupVsLegacy\": %.2f}",
-                  t, m.messages, m.secs, m.mps(), speedup);
+                  "\"messagesPerSec\": %.0f, \"speedupVsLegacy\": %.2f, "
+                  "\"speedupVs1Thread\": %.2f}",
+                  t, m.messages, m.secs, m.mps(), speedup, scaling);
       HYBRID_OBS_STMT(if (obs::enabled()) {
         const std::string key = ".n" + std::to_string(n) + ".t" + std::to_string(t);
         auto& reg = obs::Registry::global();
         reg.gauge("bench.e17.pooled.messages_per_s" + key).set(m.mps());
-        // Machine-independent ratio: this is what the CI bench gate checks.
+        // Machine-independent ratios: these are what the CI bench gate
+        // checks ("speedup" names pass the gate's --filter).
         reg.gauge("bench.e17.pooled.speedup_vs_legacy" + key).set(speedup);
+        if (t > 1) {
+          reg.gauge("bench.e17.pooled.speedup_vs_1thread" + key).set(scaling);
+        }
       });
     }
     std::printf("\n     ]}");

@@ -23,7 +23,11 @@ namespace hybrid::graph {
 /// Tie-breaking matches graph::dijkstra() exactly: the heap pops (dist,
 /// node) pairs in lexicographic order, so equal-distance nodes settle in
 /// ascending node order and the predecessor trees are identical.
-class DijkstraWorkspace {
+///
+/// Cache-line-aligned: batch serving keeps one workspace per thread, and
+/// alignment guarantees two threads' workspace headers (the vectors'
+/// size/capacity words the hot loop reads constantly) never share a line.
+class alignas(64) DijkstraWorkspace {
  public:
   /// Runs Dijkstra from `source` over `g`. If `target` >= 0 the search
   /// stops once the target is settled. Results of the previous run are

@@ -41,7 +41,8 @@ struct OverlayRoute {
 /// Per-thread scratch state for OverlayGraph::query(). Queries through a
 /// workspace perform zero steady-state heap allocations (visibility mode);
 /// one workspace must not be shared between concurrent queries.
-class OverlayQueryWorkspace {
+/// Cache-line-aligned so per-thread workspaces never false-share.
+class alignas(64) OverlayQueryWorkspace {
  public:
   OverlayQueryWorkspace() = default;
 

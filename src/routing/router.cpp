@@ -1,21 +1,53 @@
 #include "routing/router.hpp"
 
+#include <utility>
+
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 namespace hybrid::routing {
 
+namespace {
+
+/// One query's result, padded to a full cache line: neighboring queries
+/// are routinely served by different threads (the chunks are small on
+/// purpose), and unpadded results would put several vector headers on one
+/// line — every path append would then ping-pong that line between cores.
+struct alignas(64) ResultSlot {
+  RouteResult result;
+};
+
+/// Chunks this small still amortize the pool's task handout, and ~4 chunks
+/// per thread let the dynamic handout absorb the wild per-case cost spread
+/// of route() (a trivial adjacent-pair query vs a full bay-area walk).
+constexpr std::size_t kMinQueriesPerChunk = 4;
+
+}  // namespace
+
 std::vector<RouteResult> Router::routeBatch(std::span<const RoutePair> pairs,
                                             int threads) const {
   obs::ScopedSpan span("router.route_batch");
-  std::vector<RouteResult> results(pairs.size());
-  util::parallelChunks(pairs.size(), util::resolveThreads(threads),
-                       [&](std::size_t begin, std::size_t end, unsigned) {
-                         for (std::size_t i = begin; i < end; ++i) {
-                           results[i] = route(pairs[i].source, pairs[i].target);
-                         }
-                       });
+  const std::size_t n = pairs.size();
+  std::vector<RouteResult> results(n);
+  const unsigned t = util::resolveThreads(threads);
+  if (t <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = route(pairs[i].source, pairs[i].target);
+    }
+  } else {
+    // Pre-sized per-query slots: workers write by pair index only, so the
+    // output is identical to the serial loop at any thread count and no
+    // shared container is ever grown under concurrency.
+    std::vector<ResultSlot> slots(n);
+    util::parallelTasks(n, t, kMinQueriesPerChunk,
+                        [&](std::size_t begin, std::size_t end, unsigned) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            slots[i].result = route(pairs[i].source, pairs[i].target);
+                          }
+                        });
+    for (std::size_t i = 0; i < n; ++i) results[i] = std::move(slots[i].result);
+  }
   HYBRID_OBS_STMT(if (obs::enabled()) {
     auto& reg = obs::Registry::global();
     reg.counter("router.batches").add(1);

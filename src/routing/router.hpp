@@ -49,8 +49,11 @@ class Router {
   virtual std::string name() const = 0;
 
   /// Serves a batch of queries on `threads` workers of the process-wide
-  /// ThreadPool (<= 0 means hardware concurrency). Results are written by
-  /// pair index, so the output is identical to the serial loop
+  /// ThreadPool (<= 0 means hardware concurrency). The batch is split into
+  /// ~4x`threads` chunks (never below a minimum per-chunk query count) and
+  /// handed out dynamically, so a straggler case cannot serialize the tail
+  /// of the batch; each query writes a cache-line-padded slot indexed by
+  /// pair position, so the output is identical to the serial loop
   /// `for (p : pairs) route(p.source, p.target)` at any thread count.
   std::vector<RouteResult> routeBatch(std::span<const RoutePair> pairs,
                                       int threads = 1) const;

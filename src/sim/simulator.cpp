@@ -92,7 +92,9 @@ void Context::sendAdHoc(int to, Message m) {
   m.from = self_;
   m.to = to;
   m.link = Link::AdHoc;
-  if (outbox_ != nullptr) {
+  if (shard_ != nullptr) {
+    sim_.stageSend(*shard_, std::move(m));
+  } else if (outbox_ != nullptr) {
     outbox_->push_back(std::move(m));
   } else {
     sim_.finishSend(std::move(m));
@@ -106,7 +108,9 @@ void Context::sendLongRange(int to, Message m) {
   m.from = self_;
   m.to = to;
   m.link = Link::LongRange;
-  if (outbox_ != nullptr) {
+  if (shard_ != nullptr) {
+    sim_.stageSend(*shard_, std::move(m));
+  } else if (outbox_ != nullptr) {
     outbox_->push_back(std::move(m));
   } else {
     sim_.finishSend(std::move(m));
@@ -204,6 +208,185 @@ void Simulator::releaseAllInFlight() {
   pending_.clear();
   for (const auto& [due, h] : delayed_) pool_.release(h);
   delayed_.clear();
+  for (Shard& sh : shards_) {
+    for (const Staged& st : sh.staging) sh.pool.release(st.handle);
+    sh.staging.clear();
+    for (const Staged& st : sh.frozen) sh.pool.release(st.handle);
+    sh.frozen.clear();
+    sh.trace.clear();
+    sh.tally = ObsTally{};
+  }
+}
+
+void Simulator::stageSend(Shard& sh, Message&& m) {
+  // m.from is always a node of the staging worker's own range (onStart /
+  // onRoundEnd step it, onMessage delivers to it), so the sender's stats
+  // row is shard-owned and needs no synchronization.
+  auto& st = stats_[static_cast<std::size_t>(m.from)];
+  if (m.link == Link::AdHoc) {
+    ++st.sentAdHoc;
+  } else {
+    ++st.sentLongRange;
+  }
+  st.sentWords += static_cast<long>(m.words());
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    ++(m.link == Link::AdHoc ? sh.tally.sentAdHoc : sh.tally.sentLongRange);
+    sh.tally.sentWords += static_cast<long>(m.words());
+  });
+  const MessagePool::Handle h = sh.pool.acquire();
+  Message& slot = sh.pool.get(h);
+  slot = std::move(m);
+  sh.staging.push_back(Staged{(static_cast<std::uint64_t>(slot.to) << 32) |
+                                  static_cast<std::uint32_t>(slot.from),
+                              &slot, h});
+}
+
+void Simulator::sealShard(Shard& sh, unsigned numShards) {
+  // Stable counting sort of the phase's sends by destination shard: the
+  // next round's delivery workers then copy exactly their bucket. Equal
+  // (to, from) keys can only meet inside one sender shard (a sender's
+  // shard is a function of `from`), so keeping buckets in append order is
+  // all the tie-breaking the global (to, from, send index) order needs.
+  const std::size_t m = sh.staging.size();
+  sh.bucketStart.assign(numShards + 1, 0);
+  for (const Staged& st : sh.staging) {
+    ++sh.bucketStart[(st.key >> 32) / chunkNodes_ + 1];
+  }
+  for (unsigned s = 1; s <= numShards; ++s) sh.bucketStart[s] += sh.bucketStart[s - 1];
+  sh.frozen.resize(m);
+  sh.counts.assign(numShards, 0);
+  for (const Staged& st : sh.staging) {
+    const std::size_t d = (st.key >> 32) / chunkNodes_;
+    sh.frozen[sh.bucketStart[d] + sh.counts[d]++] = st;
+  }
+  sh.staging.clear();
+}
+
+void Simulator::deliverChunk(Protocol& protocol, std::size_t b, std::size_t e,
+                             unsigned c, unsigned numShards, int round) {
+  Shard& sh = shards_[c];
+  // Collect this shard's mail: every sealed shard has already bucketed its
+  // sends by destination shard, so one contiguous copy per sender shard
+  // suffices. Shard-major collection preserves append (= send) order per
+  // sender shard, which is the tie-break the stable sorts below rely on.
+  sh.inbox.clear();
+  for (unsigned s = 0; s < numShards; ++s) {
+    const Shard& src = shards_[s];
+    sh.inbox.insert(sh.inbox.end(), src.frozen.begin() + src.bucketStart[c],
+                    src.frozen.begin() + src.bucketStart[c + 1]);
+  }
+  const std::size_t m = sh.inbox.size();
+  if (m == 0) return;
+  HYBRID_OBS_STMT(if (obs::enabled()) sh.tally.delivered += static_cast<long>(m));
+  // Order by (recipient, sender, send index): stable counting sort by
+  // recipient — O(m + nodes/shard), no O(nodes) scan — then a stable sort
+  // by sender inside each recipient's group. Groups are one node's
+  // per-round in-degree, so the inner sorts are tiny.
+  const std::size_t span = e - b;
+  sh.counts.assign(span + 1, 0);
+  for (const Staged& st : sh.inbox) ++sh.counts[(st.key >> 32) - b + 1];
+  for (std::size_t i = 1; i <= span; ++i) sh.counts[i] += sh.counts[i - 1];
+  sh.inboxTmp.resize(m);
+  for (const Staged& st : sh.inbox) sh.inboxTmp[sh.counts[(st.key >> 32) - b]++] = st;
+  for (std::size_t g = 0; g < span; ++g) {
+    const std::uint32_t gb = g == 0 ? 0 : sh.counts[g - 1];
+    const std::uint32_t ge = sh.counts[g];
+    if (ge - gb < 2) continue;
+    if (ge - gb <= 32) {
+      for (std::uint32_t i = gb + 1; i < ge; ++i) {
+        const Staged st = sh.inboxTmp[i];
+        std::uint32_t j = i;
+        while (j > gb && sh.inboxTmp[j - 1].key > st.key) {
+          sh.inboxTmp[j] = sh.inboxTmp[j - 1];
+          --j;
+        }
+        sh.inboxTmp[j] = st;
+      }
+    } else {
+      std::stable_sort(sh.inboxTmp.begin() + gb, sh.inboxTmp.begin() + ge,
+                       [](const Staged& a, const Staged& b2) { return a.key < b2.key; });
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const Message& msg = *sh.inboxTmp[i].msg;
+    if (i + 1 < m) __builtin_prefetch(sh.inboxTmp[i + 1].msg);
+    // The receiver learns the sender and all introduced IDs; ad hoc
+    // senders are UDG neighbors the receiver knows from initialization.
+    if (msg.link != Link::AdHoc) introduce(msg.to, msg.from);
+    for (int id : msg.ids) introduce(msg.to, id);
+    stats_[static_cast<std::size_t>(msg.to)].receivedWords +=
+        static_cast<long>(msg.words());
+    if (traceEnabled_) traceMessage(sh.trace, "RX", round, msg);
+    Context ctx(*this, msg.to, round, &sh);
+    protocol.onMessage(ctx, msg);
+  }
+}
+
+int Simulator::runSharded(Protocol& protocol, int maxRounds, unsigned threads) {
+  const std::size_t n = numNodes();
+  chunkNodes_ = (n + threads - 1) / threads;
+  const auto numShards = static_cast<unsigned>((n + chunkNodes_ - 1) / chunkNodes_);
+  if (shards_.size() < numShards) shards_.resize(numShards);
+
+  util::parallelChunks(n, threads, [&](std::size_t b, std::size_t e, unsigned c) {
+    Shard& sh = shards_[c];
+    for (std::size_t v = b; v < e; ++v) {
+      Context ctx(*this, static_cast<int>(v), 0, &sh);
+      protocol.onStart(ctx);
+    }
+    sealShard(sh, numShards);
+  });
+  std::size_t inFlight = 0;
+  for (unsigned s = 0; s < numShards; ++s) inFlight += shards_[s].frozen.size();
+
+  int round = 0;
+  while (round < maxRounds && (inFlight > 0 || protocol.wantsMoreRounds())) {
+    ++round;
+    round_ = round;
+    if (inFlight > 0) {
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        static obs::Histogram& hInbox = obs::Registry::global().histogram(
+            "sim.round.inbox_size", {16, 64, 256, 1024, 4096, 16384, 65536, 262144});
+        hInbox.record(static_cast<double>(inFlight));
+        std::size_t live = 0;
+        for (unsigned s = 0; s < numShards; ++s) live += shards_[s].pool.liveCount();
+        obsTally_.liveHighWater =
+            std::max(obsTally_.liveHighWater, static_cast<long>(live));
+      });
+      util::parallelChunks(n, threads, [&](std::size_t b, std::size_t e, unsigned c) {
+        deliverChunk(protocol, b, e, c, numShards, round);
+      });
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        static obs::Histogram& hChunk = obs::Registry::global().histogram(
+            "sim.chunk.delivered", {16, 64, 256, 1024, 4096, 16384, 65536, 262144});
+        for (unsigned c = 0; c < numShards; ++c) {
+          hChunk.record(static_cast<double>(shards_[c].inbox.size()));
+        }
+      });
+      if (traceEnabled_) {
+        for (unsigned c = 0; c < numShards; ++c) {
+          trace_ += shards_[c].trace;
+          shards_[c].trace.clear();
+        }
+      }
+    }
+    util::parallelChunks(n, threads, [&](std::size_t b, std::size_t e, unsigned c) {
+      Shard& sh = shards_[c];
+      // The previous round's messages were all delivered behind the phase
+      // barrier above; their slots recycle into the owner's freelist and
+      // this phase's sends reuse them while still cache-warm.
+      for (const Staged& st : sh.frozen) sh.pool.release(st.handle);
+      sh.frozen.clear();
+      for (std::size_t v = b; v < e; ++v) {
+        Context ctx(*this, static_cast<int>(v), round, &sh);
+        protocol.onRoundEnd(ctx);
+      }
+      sealShard(sh, numShards);
+    });
+    inFlight = 0;
+    for (unsigned s = 0; s < numShards; ++s) inFlight += shards_[s].frozen.size();
+  }
+  return round;
 }
 
 int Simulator::run(Protocol& protocol, int maxRounds) {
@@ -213,7 +396,27 @@ int Simulator::run(Protocol& protocol, int maxRounds) {
   const bool faulty = faults_.active();
   const std::size_t n = numNodes();
   unsigned threads = util::resolveThreads(threads_);
+  if (!allowOversubscribe_) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min(threads, hw == 0 ? 1u : hw);
+  }
   threads = std::min(threads, util::ThreadPool::kMaxWorkers + 1);
+  if (n > 0) {
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, n));  // mirrors the parallelChunks clamp
+  }
+  threads = std::max(1u, threads);
+  effectiveThreads_ = static_cast<int>(threads);
+  if (threads > 1 && !faulty && tap_ == nullptr) {
+    // Fault-free, untapped parallel runs take the destination-sharded
+    // round path: no driving-thread merge, no shared pool.
+    const int rounds = runSharded(protocol, maxRounds, threads);
+    lastRounds_ = rounds;
+    budget_.roundsUsed = rounds;
+    budget_.overrun = budget_.budget > 0 && rounds > budget_.budget;
+    flushObs(rounds);
+    return rounds;
+  }
   if (chunks_.size() < threads) chunks_.resize(threads);
   // Serial runs admit sends immediately (same order as staging + merging,
   // minus the staging move); parallel runs stage into per-chunk outboxes.
@@ -415,19 +618,37 @@ void Simulator::flushObs(int rounds) {
   static obs::Gauge& gSlabs = reg.gauge("sim.pool.slabs");
   static obs::Gauge& gSlots = reg.gauge("sim.pool.slots");
   static obs::Gauge& gLiveHigh = reg.gauge("sim.pool.live_high_water");
+  static obs::Gauge& gThreadsReq = reg.gauge("sim.threads.requested");
+  static obs::Gauge& gThreadsEff = reg.gauge("sim.threads.effective");
+  // Sharded runs tally into their per-worker shards (one flush per run is
+  // the contract); fold those into the driving-thread tally first.
+  ObsTally total = obsTally_;
+  long slabs = pool_.slabsAllocated();
+  auto slots = static_cast<long>(pool_.slotCount());
+  for (Shard& sh : shards_) {
+    total.sentAdHoc += sh.tally.sentAdHoc;
+    total.sentLongRange += sh.tally.sentLongRange;
+    total.sentWords += sh.tally.sentWords;
+    total.delivered += sh.tally.delivered;
+    slabs += sh.pool.slabsAllocated();
+    slots += static_cast<long>(sh.pool.slotCount());
+    sh.tally = ObsTally{};
+  }
   cRuns.add(1);
   cRounds.add(static_cast<std::uint64_t>(rounds));
-  cSentAdHoc.add(static_cast<std::uint64_t>(obsTally_.sentAdHoc));
-  cSentLong.add(static_cast<std::uint64_t>(obsTally_.sentLongRange));
-  cWords.add(static_cast<std::uint64_t>(obsTally_.sentWords));
-  cDelivered.add(static_cast<std::uint64_t>(obsTally_.delivered));
-  cDropped.add(static_cast<std::uint64_t>(obsTally_.dropped));
-  cDuplicated.add(static_cast<std::uint64_t>(obsTally_.duplicated));
-  cDelayed.add(static_cast<std::uint64_t>(obsTally_.delayed));
+  cSentAdHoc.add(static_cast<std::uint64_t>(total.sentAdHoc));
+  cSentLong.add(static_cast<std::uint64_t>(total.sentLongRange));
+  cWords.add(static_cast<std::uint64_t>(total.sentWords));
+  cDelivered.add(static_cast<std::uint64_t>(total.delivered));
+  cDropped.add(static_cast<std::uint64_t>(total.dropped));
+  cDuplicated.add(static_cast<std::uint64_t>(total.duplicated));
+  cDelayed.add(static_cast<std::uint64_t>(total.delayed));
   if (budget_.overrun) cOverruns.add(1);
-  gSlabs.set(static_cast<double>(pool_.slabsAllocated()));
-  gSlots.set(static_cast<double>(pool_.slotCount()));
-  gLiveHigh.max(static_cast<double>(obsTally_.liveHighWater));
+  gSlabs.set(static_cast<double>(slabs));
+  gSlots.set(static_cast<double>(slots));
+  gLiveHigh.max(static_cast<double>(total.liveHighWater));
+  gThreadsReq.set(static_cast<double>(util::resolveThreads(threads_)));
+  gThreadsEff.set(static_cast<double>(effectiveThreads_));
   obsTally_ = ObsTally{};
 #else
   (void)rounds;

@@ -64,12 +64,17 @@ class Protocol;
 /// (or an all-zero one) the simulator is exactly the loss-free model.
 ///
 /// Hot-path layout (see docs/PROTOCOLS.md, "Simulator internals"): in-flight
-/// messages live in a slab/freelist MessagePool and circulate as 32-bit
-/// handles; delivery order is established by a stable two-pass counting
-/// sort (by sender, then recipient) in O(m + n) instead of an O(m log m)
-/// comparison sort; and node stepping may run on the persistent
-/// util::ThreadPool with per-chunk outboxes and trace buffers merged in
-/// chunk order, which keeps any thread count bit-identical to serial.
+/// messages live in slab/freelist MessagePools and circulate as 32-bit
+/// handles; delivery order is established by stable counting sorts in
+/// O(m + n) instead of an O(m log m) comparison sort. Fault-free parallel
+/// runs use destination-sharded delivery: each worker owns one contiguous
+/// node range, stages sends into its own cache-line-aligned shard (private
+/// pool + outbox, no locks, no merge on the driving thread) presorted by
+/// destination shard, and the next round's workers pull exactly their
+/// recipients' messages and order them by (recipient, sender, send index) —
+/// byte-identical to serial at any thread count. Faulty or tapped runs fall
+/// back to per-chunk outboxes merged in chunk order on the driving thread,
+/// which preserves the global send index the fault layer consumes.
 class Simulator {
  public:
   explicit Simulator(const graph::GeometricGraph& udg);
@@ -103,15 +108,26 @@ class Simulator {
 
   /// Worker threads for node stepping: 1 (default) steps nodes serially
   /// and is safe for any protocol; 0 resolves to the hardware concurrency.
-  /// Runs are bit-identical across thread counts — traces, stats, fault
-  /// schedules and delivery order included — because per-chunk outboxes
-  /// and trace buffers are merged in chunk (= node) order and per-round
-  /// send indices are assigned at merge time, on the driving thread.
-  /// Protocols stepped with threads > 1 must keep per-node state only (as
-  /// a distributed protocol does by definition): onStart/onMessage/
-  /// onRoundEnd for *different* nodes run concurrently.
+  /// Requests beyond the hardware concurrency are clamped at run() time
+  /// (oversubscribing the pool only adds context-switch overhead) unless
+  /// setAllowOversubscribe(true) — see effectiveThreads() for what a run
+  /// actually used. Runs are bit-identical across thread counts — traces,
+  /// stats, fault schedules and delivery order included. Protocols stepped
+  /// with threads > 1 must keep per-node state only (as a distributed
+  /// protocol does by definition): onStart/onMessage/onRoundEnd for
+  /// *different* nodes run concurrently.
   void setThreads(int threads) { threads_ = threads; }
   int threads() const { return threads_; }
+
+  /// Lets setThreads() exceed the hardware concurrency. Determinism tests
+  /// use this so the parallel machinery (and its TSan coverage) does not
+  /// silently degrade to serial on small CI boxes.
+  void setAllowOversubscribe(bool on) { allowOversubscribe_ = on; }
+  bool allowOversubscribe() const { return allowOversubscribe_; }
+
+  /// Thread count the last run() actually stepped with, after resolving 0
+  /// and clamping; also surfaced as the obs gauge `sim.threads.effective`.
+  int effectiveThreads() const { return effectiveThreads_; }
 
   /// Sets the per-run round allowance; run() never stops early because of
   /// it, but budgetReport() flags the overrun afterwards.
@@ -130,11 +146,19 @@ class Simulator {
   const std::string& trace() const { return trace_; }
   void clearTrace() { trace_.clear(); }
 
+  /// Test introspection into the sharded delivery path: shards retained
+  /// from the last fault-free parallel run (0 before any), and the slot
+  /// count of one shard's private MessagePool vs the shared serial pool.
+  std::size_t shardCount() const { return shards_.size(); }
+  std::size_t shardPoolSlots(std::size_t s) const { return shards_[s].pool.slotCount(); }
+  std::size_t sharedPoolSlots() const { return pool_.slotCount(); }
+
  private:
   friend class Context;
 
-  /// Per-chunk staging for the parallel sections: sends and trace lines
-  /// buffer here and are merged in chunk order on the driving thread.
+  /// Per-chunk staging for the legacy merge path (faulty or tapped runs):
+  /// sends and trace lines buffer here and are merged in chunk order on
+  /// the driving thread.
   struct ChunkBuf {
     std::vector<Message> outbox;
     std::string trace;
@@ -156,6 +180,50 @@ class Simulator {
   };
   /// Adds the run's tallies + pool/round stats to the global registry.
   void flushObs(int rounds);
+
+  /// One staged send of the destination-sharded path. `key` orders the
+  /// message for delivery, `msg` points into the staging shard's pool
+  /// (slab addresses are stable, so other workers may read the message
+  /// while the owner's pool grows), `handle` lets the owning shard recycle
+  /// the slot once the round it was delivered in has completed.
+  struct Staged {
+    std::uint64_t key = 0;  ///< (to << 32) | from.
+    Message* msg = nullptr;
+    MessagePool::Handle handle = MessagePool::kInvalid;
+  };
+
+  /// One worker's private world in a sharded run, aligned so two shards
+  /// never share a cache line. The worker that steps node range c is the
+  /// only writer of shard c: it stages its nodes' sends into `staging`
+  /// (presorted into `frozen` by destination shard at the end of each
+  /// phase) and appends its recipients' RX lines to `trace`. Other workers
+  /// only ever *read* a shard's `frozen`/`bucketStart` after a phase
+  /// barrier, so no locks are needed anywhere on the round path.
+  struct alignas(64) Shard {
+    MessagePool pool;
+    std::vector<Staged> staging;  ///< This phase's sends, append order.
+    std::vector<Staged> frozen;   ///< Sealed sends, bucketed by destination shard.
+    std::vector<std::uint32_t> bucketStart;  ///< numShards+1 offsets into frozen.
+    std::vector<Staged> inbox;     ///< Delivery scratch: this shard's mail.
+    std::vector<Staged> inboxTmp;  ///< Delivery scratch: recipient-sorted mail.
+    std::vector<std::uint32_t> counts;  ///< Counting-sort scratch.
+    std::string trace;                  ///< RX lines for this recipient range.
+    ObsTally tally;
+  };
+
+  /// Stats + tally + pool admission of one send on the staging worker
+  /// (sharded path; `sh` is the sender's own shard).
+  void stageSend(Shard& sh, Message&& m);
+  /// Stable counting sort of `staging` into `frozen`, bucketed by the
+  /// destination's shard; runs on the owning worker at the end of a phase.
+  void sealShard(Shard& sh, unsigned numShards);
+  /// Collects shard c's mail from every sealed shard, orders it by
+  /// (recipient, sender, send index) and delivers it.
+  void deliverChunk(Protocol& protocol, std::size_t b, std::size_t e, unsigned c,
+                    unsigned numShards, int round);
+  /// Fault-free parallel rounds: destination-sharded, no driving-thread
+  /// merge. Returns rounds executed.
+  int runSharded(Protocol& protocol, int maxRounds, unsigned threads);
 
   /// Tap + stats + pool admission for one staged send (merge time).
   void finishSend(Message&& m);
@@ -184,6 +252,8 @@ class Simulator {
   int lastRounds_ = 0;
   int round_ = 0;
   int threads_ = 1;
+  int effectiveThreads_ = 1;
+  bool allowOversubscribe_ = false;
   ObsTally obsTally_;
 
   // Round-scratch buffers; capacity recycles across rounds.
@@ -193,17 +263,25 @@ class Simulator {
   std::vector<std::uint64_t> keyTmp_;  ///< Aligned with sortTmp_.
   std::vector<std::uint32_t> counts_;
   std::vector<ChunkBuf> chunks_;
+
+  // Sharded-path state; shards recycle their capacity across runs.
+  std::vector<Shard> shards_;
+  std::size_t chunkNodes_ = 0;  ///< Nodes per shard of the current run.
 };
 
 /// Handle through which protocol code interacts with the simulator for one
-/// node within one round. Sends stage into the chunk-local outbox and the
-/// simulator admits them (tap, stats, pool) at merge time in send order;
-/// in serial runs outbox is null and sends are admitted immediately, which
-/// is the same order without the staging move.
+/// node within one round. Fault-free parallel runs stage sends straight
+/// into the stepping worker's shard (stats and pool admission happen on
+/// the worker, no merge); faulty or tapped runs stage into the chunk-local
+/// outbox and the simulator admits them at merge time in send order; in
+/// serial runs both are null and sends are admitted immediately, which is
+/// the same order without the staging move.
 class Context {
  public:
   Context(Simulator& sim, int self, int round, std::vector<Message>* outbox)
       : sim_(sim), self_(self), round_(round), outbox_(outbox) {}
+  Context(Simulator& sim, int self, int round, Simulator::Shard* shard)
+      : sim_(sim), self_(self), round_(round), shard_(shard) {}
 
   int self() const { return self_; }
   int round() const { return round_; }
@@ -222,7 +300,8 @@ class Context {
   Simulator& sim_;
   int self_;
   int round_;
-  std::vector<Message>* outbox_;
+  std::vector<Message>* outbox_ = nullptr;
+  Simulator::Shard* shard_ = nullptr;
 };
 
 /// A distributed protocol: per-node event handlers. Handlers may send

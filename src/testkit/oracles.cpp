@@ -197,6 +197,7 @@ void applyBug(InjectedBug bug, routing::OverlayRoute& fresh) {
         fresh.distance *= 1.01;
       }
       break;
+    case InjectedBug::SwapDeliveryOrder:  // sim-only; handled by its oracle
     case InjectedBug::None:
       break;
   }
@@ -280,7 +281,9 @@ OracleResult checkRouteBatchParity(const CaseContext& ctx) {
   serial.reserve(ctx.pairs().size());
   for (const auto& p : ctx.pairs()) serial.push_back(net.route(p.source, p.target));
 
-  for (const int threads : {ctx.threads(), ctx.threads() * 2}) {
+  // The doubled and odd counts stress the chunk plan: uneven tails, more
+  // chunks than queries, and the dynamic handout all get exercised.
+  for (const int threads : {ctx.threads(), ctx.threads() * 2, ctx.threads() * 2 + 1}) {
     const auto batch = net.routeBatch(ctx.pairs(), threads);
     if (batch.size() != serial.size()) {
       return failResult("routeBatch returned a different number of results");
@@ -449,12 +452,140 @@ OracleResult checkArqVsFaultFree(const CaseContext& ctx) {
   return {};
 }
 
+// ---------------------------------------------------------------------------
+// sim_delivery_parity
+// ---------------------------------------------------------------------------
+
+/// Thread-compatible mix workload (strictly per-node state) exercising both
+/// send paths: ad hoc gossip with ID introductions, long-range replies once
+/// IDs are learned. Mirrors the sim_threads_test workload so the oracle and
+/// the unit test pin the same delivery-order contract.
+class ParityMixProtocol : public sim::Protocol {
+ public:
+  ParityMixProtocol(std::size_t n, int rounds) : rounds_(rounds), heard_(n, 0) {}
+
+  void onStart(sim::Context& ctx) override { gossip(ctx); }
+
+  void onMessage(sim::Context& ctx, const sim::Message& m) override {
+    auto& h = heard_[static_cast<std::size_t>(ctx.self())];
+    ++h;
+    if (m.type == 1 && !m.ids.empty() && h % 3 == 0) {
+      const int target = m.ids.back();
+      if (target != ctx.self() && ctx.knows(target)) {
+        sim::Message reply;
+        reply.type = 2;
+        reply.ints = {static_cast<std::int64_t>(ctx.self()), h};
+        ctx.sendLongRange(target, std::move(reply));
+      }
+    }
+  }
+
+  void onRoundEnd(sim::Context& ctx) override {
+    if (ctx.round() < rounds_) gossip(ctx);
+  }
+
+ private:
+  void gossip(sim::Context& ctx) {
+    const auto nbs = ctx.udgNeighbors();
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      sim::Message m;
+      m.type = 1;
+      m.ints = {static_cast<std::int64_t>(ctx.round())};
+      m.ids.push_back(nbs[(i + 1) % nbs.size()]);
+      ctx.sendAdHoc(nbs[i], std::move(m));
+    }
+  }
+
+  int rounds_;
+  std::vector<long> heard_;
+};
+
+struct SimParityRun {
+  std::string trace;
+  long totalMessages = 0;
+  long receivedWords = 0;
+  int rounds = 0;
+};
+
+SimParityRun runSimParity(const graph::GeometricGraph& udg, int threads) {
+  sim::Simulator sim(udg);
+  sim.setThreads(threads);
+  // The differential must exercise the sharded path even when the box has
+  // fewer cores than `threads`.
+  sim.setAllowOversubscribe(true);
+  sim.enableTrace();
+  ParityMixProtocol proto(static_cast<std::size_t>(udg.numNodes()), 6);
+  SimParityRun r;
+  r.rounds = sim.run(proto, 60);
+  r.trace = sim.trace();
+  r.totalMessages = sim.totalMessages();
+  for (const auto& s : sim.stats()) r.receivedWords += s.receivedWords;
+  return r;
+}
+
+/// Simulates a broken (recipient, sender, send-index) tie-break: swap the
+/// first two lines of the threaded trace before comparing against serial.
+void swapFirstTwoTraceLines(std::string& trace) {
+  const auto first = trace.find('\n');
+  if (first == std::string::npos || first + 1 >= trace.size()) return;
+  const auto second = trace.find('\n', first + 1);
+  if (second == std::string::npos) return;
+  trace = trace.substr(first + 1, second - first) + trace.substr(0, first + 1) +
+          trace.substr(second + 1);
+}
+
+OracleResult checkSimDeliveryParity(const CaseContext& ctx) {
+  const auto& udg = ctx.net().udg();
+  // Trace-producing rounds are O(messages); bound the instance so one fuzz
+  // trial stays cheap.
+  if (udg.numNodes() > 260 || udg.numNodes() < 2) return skipResult();
+
+  const SimParityRun serial = runSimParity(udg, 1);
+  for (const int threads : {ctx.threads(), ctx.threads() * 2}) {
+    SimParityRun parallel = runSimParity(udg, threads);
+    if (ctx.bug() == InjectedBug::SwapDeliveryOrder) {
+      swapFirstTwoTraceLines(parallel.trace);
+    }
+    std::ostringstream at;
+    at << threads << " threads";
+    if (parallel.trace != serial.trace) {
+      std::size_t byte = 0;
+      const std::size_t limit = std::min(parallel.trace.size(), serial.trace.size());
+      while (byte < limit && parallel.trace[byte] == serial.trace[byte]) ++byte;
+      std::ostringstream os;
+      os << "sharded delivery trace diverges from serial at " << at.str()
+         << " (first differing byte " << byte << ")";
+      return failResult(os.str());
+    }
+    if (parallel.totalMessages != serial.totalMessages) {
+      std::ostringstream os;
+      os << "sharded delivery message count diverges from serial at " << at.str()
+         << ": " << parallel.totalMessages << " vs " << serial.totalMessages;
+      return failResult(os.str());
+    }
+    if (parallel.receivedWords != serial.receivedWords) {
+      std::ostringstream os;
+      os << "sharded delivery word count diverges from serial at " << at.str()
+         << ": " << parallel.receivedWords << " vs " << serial.receivedWords;
+      return failResult(os.str());
+    }
+    if (parallel.rounds != serial.rounds) {
+      std::ostringstream os;
+      os << "sharded run length diverges from serial at " << at.str() << ": "
+         << parallel.rounds << " vs " << serial.rounds;
+      return failResult(os.str());
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* bugName(InjectedBug bug) {
   switch (bug) {
     case InjectedBug::DropOverlayWaypoint: return "drop-overlay-waypoint";
     case InjectedBug::InflateOverlayDistance: return "inflate-overlay-distance";
+    case InjectedBug::SwapDeliveryOrder: return "swap-delivery-order";
     case InjectedBug::None: break;
   }
   return "none";
@@ -462,7 +593,8 @@ const char* bugName(InjectedBug bug) {
 
 InjectedBug parseInjectedBug(std::string_view name) {
   for (const InjectedBug b :
-       {InjectedBug::DropOverlayWaypoint, InjectedBug::InflateOverlayDistance}) {
+       {InjectedBug::DropOverlayWaypoint, InjectedBug::InflateOverlayDistance,
+        InjectedBug::SwapDeliveryOrder}) {
     if (name == bugName(b)) return b;
   }
   return InjectedBug::None;
@@ -497,6 +629,7 @@ const std::vector<Oracle>& oracles() {
       {"competitive_bound", checkCompetitiveBound},
       {"metamorphic_paths", checkMetamorphicPaths},
       {"arq_vs_faultfree", checkArqVsFaultFree},
+      {"sim_delivery_parity", checkSimDeliveryParity},
   };
   return kOracles;
 }

@@ -18,6 +18,7 @@ enum class InjectedBug {
   None,
   DropOverlayWaypoint,     ///< Overlay answers lose their last waypoint.
   InflateOverlayDistance,  ///< Overlay distances come back 1% long.
+  SwapDeliveryOrder,       ///< Threaded sim delivery order off by one swap.
 };
 
 const char* bugName(InjectedBug bug);
@@ -87,6 +88,8 @@ struct Oracle {
 ///                       length >= d(s,t)
 ///  - arq_vs_faultfree:  LDel construction over lossy ARQ transport vs the
 ///                       fault-free run
+///  - sim_delivery_parity: destination-sharded threaded simulator rounds
+///                       (trace + stats) vs the serial reference
 const std::vector<Oracle>& oracles();
 
 /// nullptr when unknown.

@@ -28,6 +28,10 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::execute(Job& job) {
+  // Jobs may bound their parallelism below the task count (and below the
+  // pool size left over from earlier, wider jobs); surplus threads bow out
+  // without touching the task counters.
+  if (job.runners.fetch_add(1, std::memory_order_relaxed) >= job.maxRunners) return;
   for (;;) {
     const unsigned t = job.next.fetch_add(1, std::memory_order_relaxed);
     if (t >= job.tasks) return;
@@ -73,18 +77,35 @@ void ThreadPool::workerLoop() {
 }
 
 void ThreadPool::run(unsigned tasks, const std::function<void(unsigned)>& fn) {
+  run(tasks, tasks, fn);
+}
+
+void ThreadPool::run(unsigned tasks, unsigned parallelism,
+                     const std::function<void(unsigned)>& fn) {
   if (tasks == 0) return;
-  if (tasks == 1) {
-    fn(0);
+  parallelism = std::max(1u, std::min(parallelism, tasks));
+  if (tasks == 1 || parallelism == 1) {
+    // Same contract as the parallel path: every task runs, the first
+    // exception in task-index order is rethrown.
+    std::exception_ptr error;
+    for (unsigned t = 0; t < tasks; ++t) {
+      try {
+        fn(t);
+      } catch (...) {
+        if (error == nullptr) error = std::current_exception();
+      }
+    }
+    if (error != nullptr) std::rethrow_exception(error);
     return;
   }
   // One job at a time: concurrent submitters queue up here instead of
   // corrupting each other's generation counters.
   const std::lock_guard<std::mutex> runLock(runMutex_);
-  ensureWorkers(tasks - 1);
+  ensureWorkers(parallelism - 1);
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->tasks = tasks;
+  job->maxRunners = parallelism;
   job->pending.store(tasks, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(m_);

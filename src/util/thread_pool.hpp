@@ -38,6 +38,12 @@ class ThreadPool {
 
   void run(unsigned tasks, const std::function<void(unsigned)>& fn);
 
+  /// Like run(tasks, fn) but with at most `parallelism` threads working at
+  /// once (the caller counts as one). Lets callers split work into more
+  /// tasks than threads — the dynamic handout then rebalances uneven task
+  /// costs — without growing the pool to one thread per task.
+  void run(unsigned tasks, unsigned parallelism, const std::function<void(unsigned)>& fn);
+
   unsigned workerCount() const;
 
   /// The process-wide pool shared by the simulator, LDel and benches.
@@ -49,6 +55,8 @@ class ThreadPool {
   struct Job {
     const std::function<void(unsigned)>* fn = nullptr;
     unsigned tasks = 0;
+    unsigned maxRunners = 0;
+    std::atomic<unsigned> runners{0};
     std::atomic<unsigned> next{0};
     std::atomic<unsigned> pending{0};
     std::mutex m;

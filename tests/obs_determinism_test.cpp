@@ -80,6 +80,7 @@ std::string runFloodTrace(bool metricsOn, int threads) {
   const auto g = gridGraph(7);
   sim::Simulator s(g, noisyPlan());
   s.setThreads(threads);
+  s.setAllowOversubscribe(true);  // keep the parallel path real on small boxes
   s.enableTrace();
   FloodProtocol proto(g.numNodes());
   s.run(proto);

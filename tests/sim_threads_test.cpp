@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "delaunay/udg.hpp"
@@ -103,6 +105,9 @@ RunResult runAt(int threads, const FaultConfig* faults) {
   const auto g = gridGraph(6);
   Simulator sim = faults != nullptr ? Simulator(g, FaultPlan(*faults)) : Simulator(g);
   sim.setThreads(threads);
+  // Keep the parallel machinery (and its TSan coverage) honest even on
+  // small CI boxes where `threads` exceeds the hardware concurrency.
+  sim.setAllowOversubscribe(true);
   sim.enableTrace();
   MixProtocol proto(g.numNodes(), 8);
   RunResult r;
@@ -152,6 +157,7 @@ TEST(SimThreads, ReliableTransportMatchesAcrossThreadCounts) {
     const auto g = gridGraph(5);
     Simulator sim(g, FaultPlan(cfg));
     sim.setThreads(t);
+    sim.setAllowOversubscribe(true);
     sim.enableTrace();
     MixProtocol inner(g.numNodes(), 5);
     protocols::ReliableProtocol rel(sim, inner, {});
@@ -165,6 +171,26 @@ TEST(SimThreads, ReliableTransportMatchesAcrossThreadCounts) {
   EXPECT_EQ(traces[2], traces[0]);
   EXPECT_EQ(retrans[1], retrans[0]);
   EXPECT_EQ(retrans[2], retrans[0]);
+}
+
+TEST(SimThreads, OversubscribedRequestIsClampedToHardware) {
+  const auto g = gridGraph(6);
+  Simulator sim(g);
+  sim.setThreads(1000);  // far beyond any box and beyond kMaxWorkers
+  MixProtocol proto(g.numNodes(), 4);
+  sim.run(proto, 100);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_LE(sim.effectiveThreads(), static_cast<int>(hw));
+  EXPECT_GE(sim.effectiveThreads(), 1);
+
+  // With the escape hatch the request is honored (up to the pool cap and
+  // the node count), which is what the determinism tests above rely on.
+  Simulator sim2(g);
+  sim2.setThreads(8);
+  sim2.setAllowOversubscribe(true);
+  MixProtocol proto2(g.numNodes(), 4);
+  sim2.run(proto2, 100);
+  EXPECT_EQ(sim2.effectiveThreads(), 8);
 }
 
 TEST(SimThreads, ThreadsZeroResolvesToHardware) {

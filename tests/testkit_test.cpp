@@ -153,11 +153,12 @@ TEST(Testkit, ShrinkerFindsSmallFailingScenario) {
 }
 
 TEST(Testkit, OracleRegistryAndBugNamesRoundTrip) {
-  EXPECT_EQ(oracles().size(), 7u);
+  EXPECT_EQ(oracles().size(), 8u);
   for (const auto& o : oracles()) EXPECT_EQ(findOracle(o.name), &o);
   EXPECT_EQ(findOracle("nope"), nullptr);
   for (const InjectedBug b :
-       {InjectedBug::None, InjectedBug::DropOverlayWaypoint, InjectedBug::InflateOverlayDistance}) {
+       {InjectedBug::None, InjectedBug::DropOverlayWaypoint,
+        InjectedBug::InflateOverlayDistance, InjectedBug::SwapDeliveryOrder}) {
     EXPECT_EQ(parseInjectedBug(bugName(b)), b);
   }
   EXPECT_EQ(parseInjectedBug("garbage"), InjectedBug::None);

@@ -37,7 +37,7 @@ void usage() {
       "  --threads K       thread count for the parallel paths under test (default 2)\n"
       "  --corpus DIR      shrink + record failing cases as JSON under DIR\n"
       "  --inject-bug B    plant a deliberate defect: drop-overlay-waypoint |\n"
-      "                    inflate-overlay-distance (default none)\n"
+      "                    inflate-overlay-distance | swap-delivery-order (default none)\n"
       "  --shrink-min N    do not shrink below N nodes (default 8)\n"
       "  --replay FILE     replay one corpus case instead of fuzzing\n"
       "  --metrics FILE    enable observability and write an obs snapshot (JSON)\n"
@@ -104,7 +104,9 @@ int main(int argc, char** argv) {
       for (const auto& g : hybrid::testkit::generators()) std::printf("  %s\n", g.name);
       std::printf("oracles:\n");
       for (const auto& o : hybrid::testkit::oracles()) std::printf("  %s\n", o.name);
-      std::printf("bugs:\n  drop-overlay-waypoint\n  inflate-overlay-distance\n");
+      std::printf(
+          "bugs:\n  drop-overlay-waypoint\n  inflate-overlay-distance\n"
+          "  swap-delivery-order\n");
       return 0;
     } else if (arg == "--verbose") {
       opts.verbose = true;
