@@ -13,6 +13,16 @@ void DijkstraWorkspace::ensureSize(std::size_t n) {
 }
 
 void DijkstraWorkspace::run(const CsrAdjacency& g, NodeId source, NodeId target) {
+  runImpl(g, source, target, {});
+}
+
+void DijkstraWorkspace::runRankPruned(const CsrAdjacency& g, NodeId source,
+                                      std::span<const std::uint32_t> ranks) {
+  runImpl(g, source, -1, ranks);
+}
+
+void DijkstraWorkspace::runImpl(const CsrAdjacency& g, NodeId source, NodeId target,
+                                std::span<const std::uint32_t> ranks) {
   const std::size_t n = g.numNodes();
   ensureSize(n);
   ++gen_;
@@ -31,6 +41,8 @@ void DijkstraWorkspace::run(const CsrAdjacency& g, NodeId source, NodeId target)
     }
   };
   const auto minHeap = [](const HeapItem& a, const HeapItem& b) { return b < a; };
+  const std::uint32_t sourceRank =
+      ranks.empty() ? 0 : ranks[static_cast<std::size_t>(source)];
 
   touch(source);
   dist_[static_cast<std::size_t>(source)] = 0.0;
@@ -42,6 +54,9 @@ void DijkstraWorkspace::run(const CsrAdjacency& g, NodeId source, NodeId target)
     HYBRID_OBS_STMT(++heapPops_);
     if (top.d > dist_[static_cast<std::size_t>(top.v)]) continue;
     if (top.v == target) break;
+    // Rank prune: a node more central than the source dominates its whole
+    // subtree (the hub-label build emits no entries beyond it).
+    if (!ranks.empty() && ranks[static_cast<std::size_t>(top.v)] < sourceRank) continue;
     const auto nbs = g.neighbors(top.v);
     const auto ws = g.edgeWeights(top.v);
     for (std::size_t k = 0; k < nbs.size(); ++k) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -34,6 +35,18 @@ class alignas(64) DijkstraWorkspace {
   /// invalidated.
   void run(const CsrAdjacency& g, NodeId source, NodeId target = -1);
 
+  /// Rank-pruned Dijkstra (the hub-label build primitive): identical to
+  /// run(), except that a settled node v with ranks[v] < ranks[source] is
+  /// not relaxed further — its subtree is dominated by a more central hub,
+  /// so the search dies out quickly for peripheral sources. Distances of
+  /// nodes whose every shortest path crosses a pruned node may come back
+  /// larger than the true distance (they are path lengths in the pruned
+  /// subgraph, never underestimates); nodes with ranks[v] >= ranks[source]
+  /// reached without crossing a lower rank are exact. `ranks` must be a
+  /// permutation-like strict order (no duplicates) of size numNodes().
+  void runRankPruned(const CsrAdjacency& g, NodeId source,
+                     std::span<const std::uint32_t> ranks);
+
   /// Distance of the last run; +inf when unreached (or never run).
   double dist(NodeId v) const {
     const auto i = static_cast<std::size_t>(v);
@@ -61,6 +74,8 @@ class alignas(64) DijkstraWorkspace {
 
  private:
   void ensureSize(std::size_t n);
+  void runImpl(const CsrAdjacency& g, NodeId source, NodeId target,
+               std::span<const std::uint32_t> ranks);
 
   struct HeapItem {
     double d;

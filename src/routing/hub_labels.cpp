@@ -1,0 +1,229 @@
+#include "routing/hub_labels.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "graph/dijkstra_workspace.hpp"
+#include "util/parallel.hpp"
+
+namespace hybrid::routing {
+
+namespace {
+
+/// Deterministic id mixer for rank tie-breaks. Equal-degree sites are
+/// common (rings, grids); breaking ties by raw id makes ranks monotone
+/// along the embedding and labels degenerate to Θ(h) on ring-like graphs,
+/// while a hashed order behaves like a random rank permutation (expected
+/// O(log h) labels on paths/cycles).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void HubLabelOracle::build(const graph::CsrAdjacency& g, unsigned threads) {
+  const std::size_t h = g.numNodes();
+  offsets_.assign(h + 1, 0);
+  entries_.clear();
+  rank_.assign(h, 0);
+  maxLabel_ = 0;
+  relaxations_ = 0;
+  heapPops_ = 0;
+  if (h == 0) return;
+
+  // Centrality order: degree descending, hashed-id tie-break.
+  std::vector<std::int32_t> order(h);
+  for (std::size_t i = 0; i < h; ++i) order[i] = static_cast<std::int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const auto da = g.neighbors(a).size();
+    const auto db = g.neighbors(b).size();
+    if (da != db) return da > db;
+    const std::uint64_t ha = splitmix64(static_cast<std::uint64_t>(a));
+    const std::uint64_t hb = splitmix64(static_cast<std::uint64_t>(b));
+    if (ha != hb) return ha < hb;
+    return a < b;
+  });
+  for (std::size_t k = 0; k < h; ++k) {
+    rank_[static_cast<std::size_t>(order[k])] = static_cast<std::uint32_t>(k);
+  }
+
+  // One rank-pruned Dijkstra per hub; each search emits entries into its
+  // task's private buffer (hubs scatter entries across *other* sites'
+  // labels, so per-site output cannot be written in place in parallel).
+  struct Rec {
+    std::int32_t site;
+    std::int32_t hub;
+    std::int32_t pred;
+    double dist;
+  };
+  threads = std::max(1u, threads);
+  const util::ChunkPlan plan = util::planChunks(h, threads, 1);
+  std::vector<std::vector<Rec>> perTask(plan.tasks);
+  std::atomic<std::uint64_t> relax{0};
+  std::atomic<std::uint64_t> pops{0};
+  util::parallelTasks(h, threads, 1, [&](std::size_t begin, std::size_t end, unsigned task) {
+    graph::DijkstraWorkspace ws;
+    auto& out = perTask[task];
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto w = static_cast<graph::NodeId>(k);
+      ws.runRankPruned(g, w, rank_);
+      const std::uint32_t rw = rank_[k];
+      for (std::size_t v = 0; v < h; ++v) {
+        // Settled nodes at least as peripheral as the hub get an entry;
+        // pruned (more central) nodes never relax, so they are neither
+        // owners nor tree parents here.
+        if (rank_[v] < rw) continue;
+        const double d = ws.dist(static_cast<graph::NodeId>(v));
+        if (d == graph::DijkstraWorkspace::kUnreached) continue;
+        out.push_back({static_cast<std::int32_t>(v), static_cast<std::int32_t>(k),
+                       ws.pred(static_cast<graph::NodeId>(v)), d});
+      }
+    }
+    relax.fetch_add(ws.relaxations(), std::memory_order_relaxed);
+    pops.fetch_add(ws.heapPops(), std::memory_order_relaxed);
+  });
+  relaxations_ = relax.load(std::memory_order_relaxed);
+  heapPops_ = pops.load(std::memory_order_relaxed);
+
+  // Flatten into the (site, hub)-sorted slab. The key is unique per
+  // entry, so the sort result does not depend on chunk boundaries and the
+  // build is byte-identical at any thread count.
+  std::size_t total = 0;
+  for (const auto& b : perTask) total += b.size();
+  std::vector<Rec> all;
+  all.reserve(total);
+  for (auto& b : perTask) {
+    all.insert(all.end(), b.begin(), b.end());
+    b.clear();
+    b.shrink_to_fit();
+  }
+  std::sort(all.begin(), all.end(), [](const Rec& a, const Rec& b) {
+    return a.site != b.site ? a.site < b.site : a.hub < b.hub;
+  });
+
+  entries_.reserve(all.size());
+  for (const Rec& r : all) {
+    ++offsets_[static_cast<std::size_t>(r.site) + 1];
+    entries_.push_back({r.hub, r.pred, r.dist});
+  }
+  for (std::size_t u = 0; u < h; ++u) {
+    maxLabel_ = std::max(maxLabel_, static_cast<std::size_t>(offsets_[u + 1]));
+    offsets_[u + 1] += offsets_[u];
+  }
+}
+
+const HubLabelOracle::Entry* HubLabelOracle::findEntry(int u, std::int32_t hub) const {
+  const auto l = label(u);
+  const auto it = std::lower_bound(
+      l.begin(), l.end(), hub, [](const Entry& e, std::int32_t x) { return e.hub < x; });
+  if (it == l.end() || it->hub != hub) return nullptr;
+  return &*it;
+}
+
+bool HubLabelOracle::meet(int s, int t, const Entry** es, const Entry** et) const {
+  const auto ls = label(s);
+  const auto lt = label(t);
+  double best = std::numeric_limits<double>::infinity();
+  *es = nullptr;
+  *et = nullptr;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    const std::int32_t hs = ls[i].hub;
+    const std::int32_t ht = lt[j].hub;
+    if (hs < ht) {
+      ++i;
+    } else if (ht < hs) {
+      ++j;
+    } else {
+      const double c = ls[i].dist + lt[j].dist;
+      if (c < best) {
+        best = c;
+        *es = &ls[i];
+        *et = &lt[j];
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return *es != nullptr;
+}
+
+bool HubLabelOracle::path(int s, int t, std::vector<int>& out) const {
+  const std::size_t before = out.size();
+  if (s == t) {
+    out.push_back(s);
+    return true;
+  }
+  const Entry* es = nullptr;
+  const Entry* et = nullptr;
+  if (!meet(s, t, &es, &et)) return false;
+  const std::int32_t w = es->hub;
+  // Both legs follow the hub's shortest-path tree: each pred is the tree
+  // parent toward w, and tree ancestors hold entries for w too, so the
+  // walk is a chain of label lookups. The hop guard turns label
+  // corruption into a clean failure instead of an endless loop.
+  std::size_t guard = 2 * numSites() + 4;
+  int v = s;
+  const Entry* e = es;
+  while (true) {  // emit s .. w in order
+    out.push_back(v);
+    if (v == w) break;
+    v = e->pred;
+    if (v < 0 || --guard == 0) {
+      out.resize(before);
+      return false;
+    }
+    if (v != w) {
+      e = findEntry(v, w);
+      if (e == nullptr) {
+        out.resize(before);
+        return false;
+      }
+    }
+  }
+  const std::size_t mid = out.size();
+  v = t;
+  e = et;
+  while (v != w) {  // emit t .. (w-exclusive), then reverse in place
+    out.push_back(v);
+    v = e->pred;
+    if (v < 0 || --guard == 0) {
+      out.resize(before);
+      return false;
+    }
+    if (v != w) {
+      e = findEntry(v, w);
+      if (e == nullptr) {
+        out.resize(before);
+        return false;
+      }
+    }
+  }
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(mid), out.end());
+  return true;
+}
+
+HubLabelOracle::DroppedHub HubLabelOracle::corruptDropHubForTest(int startSite) {
+  const int h = static_cast<int>(numSites());
+  for (int k = 0; k < h; ++k) {
+    const int u = (startSite + k) % h;
+    const auto b = offsets_[static_cast<std::size_t>(u)];
+    const auto e = offsets_[static_cast<std::size_t>(u) + 1];
+    for (std::int64_t i = e - 1; i >= b; --i) {
+      if (entries_[static_cast<std::size_t>(i)].hub == u) continue;  // keep self entry
+      const DroppedHub dropped{u, entries_[static_cast<std::size_t>(i)].hub};
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      for (std::size_t o = static_cast<std::size_t>(u) + 1; o < offsets_.size(); ++o) {
+        --offsets_[o];
+      }
+      return dropped;
+    }
+  }
+  return {};
+}
+
+}  // namespace hybrid::routing

@@ -41,10 +41,10 @@ HybridRouter::HybridRouter(const graph::GeometricGraph& ldel,
     siteRings.reserve(groups.size());
     for (const auto& g : groups) siteRings.push_back(g.hullNodes);
     overlay_ = std::make_unique<OverlayGraph>(ldel, siteRings, analysis.holePolygons(),
-                                              opt_.edges);
+                                              opt_.edges, opt_.table);
   } else {
     overlay_ = std::make_unique<OverlayGraph>(ldel, analysis, abstractions, opt_.sites,
-                                              opt_.edges);
+                                              opt_.edges, opt_.table);
   }
 
   isHullNode_.assign(g_.numNodes(), 0);

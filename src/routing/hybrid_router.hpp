@@ -26,6 +26,9 @@ struct HybridOptions {
   /// apply it locally from its neighbor knowledge). Off by default so the
   /// measured stretch reflects the paper's protocol alone.
   bool prunePaths = false;
+  /// Site-pair backend of the visibility overlay: dense h^2 table, hub
+  /// labels, or size-based auto selection.
+  TableMode table = TableMode::Auto;
 };
 
 /// The paper's routing protocol: Chew-style corridor routing toward the

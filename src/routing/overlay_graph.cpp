@@ -1,8 +1,12 @@
 #include "routing/overlay_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <set>
 
 #include "delaunay/triangulation.hpp"
@@ -16,6 +20,12 @@ namespace hybrid::routing {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Runtime-overridable backend limits (setTableLimitsForTest); relaxed
+/// atomics because tests set them before constructing overlays.
+std::atomic<std::size_t> gDenseCap{OverlayGraph::kMaxTableSites};
+std::atomic<std::size_t> gAutoThreshold{1024};
+std::once_flag gFallbackLogOnce;
+
 #ifndef HYBRID_OBS_DISABLED
 /// Registry handles resolved once; hot queries only touch the atomics.
 struct QueryMetrics {
@@ -26,6 +36,7 @@ struct QueryMetrics {
   obs::Counter& visPruned;
   obs::Counter& wsReuse;
   obs::Counter& wsGrow;
+  obs::Histogram& hubMerge;
 
   static QueryMetrics& get() {
     auto& reg = obs::Registry::global();
@@ -35,18 +46,54 @@ struct QueryMetrics {
                           reg.counter("overlay.vis_tests.run"),
                           reg.counter("overlay.vis_tests.pruned"),
                           reg.counter("overlay.workspace.reuse_hits"),
-                          reg.counter("overlay.workspace.grows")};
+                          reg.counter("overlay.workspace.grows"),
+                          reg.histogram("overlay.query.hub_merge_len",
+                                        {4, 16, 64, 256, 1024, 4096, 16384})};
     return m;
   }
 };
 #endif
 }  // namespace
 
+const char* tableModeName(TableMode mode) {
+  switch (mode) {
+    case TableMode::Dense:
+      return "dense";
+    case TableMode::HubLabels:
+      return "labels";
+    case TableMode::Auto:
+      break;
+  }
+  return "auto";
+}
+
+std::optional<TableMode> parseTableMode(std::string_view name) {
+  if (name == "dense") return TableMode::Dense;
+  if (name == "labels") return TableMode::HubLabels;
+  if (name == "auto") return TableMode::Auto;
+  return std::nullopt;
+}
+
+std::size_t OverlayGraph::denseCap() { return gDenseCap.load(std::memory_order_relaxed); }
+
+std::size_t OverlayGraph::autoLabelThreshold() {
+  return gAutoThreshold.load(std::memory_order_relaxed);
+}
+
+std::pair<std::size_t, std::size_t> OverlayGraph::setTableLimitsForTest(
+    std::size_t denseCap, std::size_t autoThreshold) {
+  std::pair<std::size_t, std::size_t> prev{gDenseCap.load(std::memory_order_relaxed),
+                                           gAutoThreshold.load(std::memory_order_relaxed)};
+  if (denseCap != 0) gDenseCap.store(denseCap, std::memory_order_relaxed);
+  if (autoThreshold != 0) gAutoThreshold.store(autoThreshold, std::memory_order_relaxed);
+  return prev;
+}
+
 OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
                            const holes::HoleAnalysis& analysis,
                            const std::vector<abstraction::HoleAbstraction>& abstractions,
-                           SiteMode siteMode, EdgeMode edgeMode)
-    : vis_(analysis.holePolygons()), edgeMode_(edgeMode) {
+                           SiteMode siteMode, EdgeMode edgeMode, TableMode table)
+    : vis_(analysis.holePolygons()), edgeMode_(edgeMode), tableMode_(table) {
   obs::ScopedSpan buildSpan("overlay.build");
   // Collect sites and remember per-site local index.
   std::map<graph::NodeId, int> local;
@@ -104,8 +151,9 @@ OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
 
 OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
                            const std::vector<std::vector<graph::NodeId>>& siteRings,
-                           std::vector<geom::Polygon> obstacles, EdgeMode edgeMode)
-    : vis_(std::move(obstacles)), edgeMode_(edgeMode) {
+                           std::vector<geom::Polygon> obstacles, EdgeMode edgeMode,
+                           TableMode table)
+    : vis_(std::move(obstacles)), edgeMode_(edgeMode), tableMode_(table) {
   obs::ScopedSpan buildSpan("overlay.build");
   std::map<graph::NodeId, int> local;
   for (const auto& ring : siteRings) {
@@ -160,15 +208,75 @@ void OverlayGraph::buildSitePairTable() {
   // incrementally. (With fewer than 3 points the Delaunay query graph
   // degenerates to the visibility form, but such overlays are trivially
   // cheap either way.)
-  incremental_ = edgeMode_ == EdgeMode::Visibility && h <= kMaxTableSites;
-  if (!incremental_ || h == 0) return;
+  if (edgeMode_ != EdgeMode::Visibility) {
+    incremental_ = false;
+    return;
+  }
+  incremental_ = true;
+  if (h == 0) return;
+
+  // Resolve the backend. Auto stays dense while the h^2 table is cheap
+  // (below both the auto threshold and the dense cap) and switches to hub
+  // labels above it; an explicit Dense request above the cap cannot be
+  // honored and falls back to the per-query rebuild path — loudly, because
+  // silently losing the serving engine is a large hidden regression.
+  bool wantLabels = false;
+  switch (tableMode_) {
+    case TableMode::Dense:
+      break;
+    case TableMode::HubLabels:
+      wantLabels = true;
+      break;
+    case TableMode::Auto:
+      wantLabels = h > std::min(autoLabelThreshold(), denseCap());
+      break;
+  }
+  if (!wantLabels && h > denseCap()) {
+    incremental_ = false;
+    HYBRID_OBS_STMT(if (obs::enabled()) {
+      obs::Registry::global().counter("overlay.table.fallbacks").add(1);
+    });
+    std::call_once(gFallbackLogOnce, [&] {
+      std::fprintf(stderr,
+                   "[overlay] dense site table refused: %zu sites exceed the cap of %zu; "
+                   "serving falls back to per-query rebuild (TableMode::HubLabels or "
+                   "Auto lifts the ceiling)\n",
+                   h, denseCap());
+    });
+    return;
+  }
 
   siteCsr_ = graph::buildCsr(siteAdj_, sitePos_);
+  usesHubLabels_ = wantLabels;
+  const unsigned threads = h >= 96 ? util::resolveThreads(0) : 1;
+
+  if (wantLabels) {
+#ifndef HYBRID_OBS_DISABLED
+    const auto t0 = std::chrono::steady_clock::now();
+#endif
+    labels_.build(siteCsr_, threads);
+    HYBRID_OBS_STMT(if (obs::enabled()) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      auto& reg = obs::Registry::global();
+      reg.counter("overlay.table.builds").add(1);
+      reg.counter("overlay.table.dijkstras").add(h);
+      reg.counter("overlay.table.relaxations").add(labels_.buildRelaxations());
+      reg.counter("overlay.table.heap_pops").add(labels_.buildHeapPops());
+      reg.gauge("overlay.table.sites").set(static_cast<double>(h));
+      reg.gauge("overlay.labels.count").set(static_cast<double>(labels_.numEntries()));
+      reg.gauge("overlay.labels.bytes").set(static_cast<double>(labels_.labelBytes()));
+      reg.gauge("overlay.labels.max_label").set(static_cast<double>(labels_.maxLabelSize()));
+      reg.gauge("overlay.labels.build_ms").set(ms);
+    });
+    return;
+  }
+
   siteDist_.assign(h * h, kInf);
   sitePred_.assign(h * h, -1);
   // One Dijkstra per source site; rows are independent, so the parallel
   // fill is deterministic at any thread count.
-  const unsigned threads = h >= 96 ? util::resolveThreads(0) : 1;
   util::parallelChunks(h, threads, [&](std::size_t begin, std::size_t end, unsigned) {
     graph::DijkstraWorkspace ws;
     for (std::size_t i = begin; i < end; ++i) {
@@ -199,6 +307,7 @@ void OverlayGraph::buildSitePairTable() {
 }
 
 bool OverlayGraph::sitePathLocal(int i, int j, std::vector<int>& out) const {
+  if (usesHubLabels_) return labels_.path(i, j, out);
   const std::size_t h = sitePos_.size();
   const std::size_t before = out.size();
   const std::int32_t* predRow = sitePred_.data() + static_cast<std::size_t>(i) * h;
@@ -307,16 +416,19 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
   // Per-query tallies flush exactly once, whichever return path runs.
   ws.obsVisRun_ = 0;
   ws.obsVisPruned_ = 0;
+  ws.obsHubMerge_ = 0;
   struct ObsFlush {
     const OverlayQueryWorkspace& ws;
+    bool labels;
     ~ObsFlush() {
       if (!obs::enabled()) return;
       auto& m = QueryMetrics::get();
       m.incremental.add(1);
       m.visRun.add(ws.obsVisRun_);
       m.visPruned.add(ws.obsVisPruned_);
+      if (labels) m.hubMerge.record(static_cast<double>(ws.obsHubMerge_));
     }
-  } obsFlush{ws};
+  } obsFlush{ws, usesHubLabels_};
 #endif
   const std::size_t h = sitePos_.size();
   // Endpoints that coincide with a site enter the overlay there at cost 0,
@@ -335,8 +447,7 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
   if (fromSite >= 0 && toSite >= 0) {
     // Both endpoints are sites: the query graph is the precomputed site
     // graph itself (visibility adjacency covers every visible pair).
-    best = siteDist_[static_cast<std::size_t>(fromSite) * h +
-                     static_cast<std::size_t>(toSite)];
+    best = sitePairDistance(fromSite, toSite);
     bestEntry = fromSite;
     bestExit = toSite;
   } else {
@@ -431,12 +542,11 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
         const int i = seedEntries[a];
         const double entryLeg =
             i == fromSite ? 0.0 : geom::dist(from, sitePos_[static_cast<std::size_t>(i)]);
-        const double* distRow = siteDist_.data() + static_cast<std::size_t>(i) * h;
         for (int b = 0; b < numExits; ++b) {
           const int j = seedExits[b];
           const double exitLeg =
               j == toSite ? 0.0 : geom::dist(sitePos_[static_cast<std::size_t>(j)], to);
-          bound = std::min(bound, entryLeg + distRow[static_cast<std::size_t>(j)] + exitLeg);
+          bound = std::min(bound, entryLeg + sitePairDistance(i, j) + exitLeg);
         }
       }
     }
@@ -479,18 +589,65 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
       }
     }
 
-    // Best entry/exit-site combination over the precomputed pair table.
-    for (const int i : ws.entrySites_) {
-      const double di = ws.entryDist_[static_cast<std::size_t>(i)];
-      if (di >= best) continue;
-      const double* distRow = siteDist_.data() + static_cast<std::size_t>(i) * h;
+    // Best entry/exit-site combination over the site-pair backend.
+    if (usesHubLabels_) {
+      // Hub-bucket scan instead of |entry| x |exit| label merges: pass 1
+      // buckets the entry side per hub (min over entry sites i of
+      // d(from,i) + d(i,w)), pass 2 completes each exit label against the
+      // buckets — O(sum of touched label sizes) total. Buckets are
+      // generation-stamped so queries never pay an O(h) clear.
+      if (ws.hubStamp_.size() < h) {
+        ws.hubVal_.resize(h);
+        ws.hubEntry_.resize(h);
+        ws.hubStamp_.resize(h, 0);
+      }
+      ++ws.hubGen_;
+      if (ws.hubGen_ == 0) {  // stamp wrap-around: re-zero and restart
+        std::fill(ws.hubStamp_.begin(), ws.hubStamp_.end(), 0);
+        ws.hubGen_ = 1;
+      }
+      for (const int i : ws.entrySites_) {
+        const double di = ws.entryDist_[static_cast<std::size_t>(i)];
+        const auto li = labels_.label(i);
+        HYBRID_OBS_STMT(ws.obsHubMerge_ += li.size());
+        for (const auto& e : li) {
+          const double cand = di + e.dist;
+          const auto w = static_cast<std::size_t>(e.hub);
+          if (ws.hubStamp_[w] != ws.hubGen_ || cand < ws.hubVal_[w]) {
+            ws.hubStamp_[w] = ws.hubGen_;
+            ws.hubVal_[w] = cand;
+            ws.hubEntry_[w] = i;
+          }
+        }
+      }
       for (const int j : ws.exitSites_) {
-        const double cand = di + distRow[static_cast<std::size_t>(j)] +
-                            ws.exitDist_[static_cast<std::size_t>(j)];
-        if (cand < best) {
-          best = cand;
-          bestEntry = i;
-          bestExit = j;
+        const double dj = ws.exitDist_[static_cast<std::size_t>(j)];
+        const auto lj = labels_.label(j);
+        HYBRID_OBS_STMT(ws.obsHubMerge_ += lj.size());
+        for (const auto& e : lj) {
+          const auto w = static_cast<std::size_t>(e.hub);
+          if (ws.hubStamp_[w] != ws.hubGen_) continue;
+          const double cand = ws.hubVal_[w] + e.dist + dj;
+          if (cand < best) {
+            best = cand;
+            bestEntry = ws.hubEntry_[w];
+            bestExit = j;
+          }
+        }
+      }
+    } else {
+      for (const int i : ws.entrySites_) {
+        const double di = ws.entryDist_[static_cast<std::size_t>(i)];
+        if (di >= best) continue;
+        const double* distRow = siteDist_.data() + static_cast<std::size_t>(i) * h;
+        for (const int j : ws.exitSites_) {
+          const double cand = di + distRow[static_cast<std::size_t>(j)] +
+                              ws.exitDist_[static_cast<std::size_t>(j)];
+          if (cand < best) {
+            best = cand;
+            bestEntry = i;
+            bestExit = j;
+          }
         }
       }
     }

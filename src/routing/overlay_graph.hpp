@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "abstraction/hole_abstraction.hpp"
@@ -11,6 +13,7 @@
 #include "graph/graph.hpp"
 #include "holes/hole_detection.hpp"
 #include "obs/metrics.hpp"
+#include "routing/hub_labels.hpp"
 
 namespace hybrid::routing {
 
@@ -28,6 +31,19 @@ enum class EdgeMode {
   Visibility,  ///< Full visibility graph: Theta(h^2) edges, 17.7-competitive.
   Delaunay,    ///< Delaunay of the sites: O(h) edges, 35.37-competitive.
 };
+
+/// Which site-pair backend serves visibility-mode queries.
+enum class TableMode {
+  Dense,      ///< h×h distance/pred table; refuses (rebuild fallback) above
+              ///< the dense cap.
+  HubLabels,  ///< Pruned hub-label oracle: compact labels, no site ceiling.
+  Auto,       ///< Dense up to the auto threshold, hub labels above it.
+};
+
+const char* tableModeName(TableMode mode);
+/// Parses tableModeName() spelling ("dense" | "labels" | "auto");
+/// nullopt for anything else.
+std::optional<TableMode> parseTableMode(std::string_view name);
 
 /// Combined answer of one overlay query: the waypoints *and* the overlay
 /// path length from a single solve. Callers that reuse the struct keep the
@@ -58,10 +74,17 @@ class alignas(64) OverlayQueryWorkspace {
   std::vector<signed char> exitVis_;
   std::vector<double> seedLB_;  ///< Per-site Euclidean lower bounds (seed phase).
   std::vector<int> seedOrder_;  ///< Site indices sorted by seedLB_.
+  /// Hub-label backend scratch: per-hub best entry-side value, generation
+  /// stamped so a query never pays an O(h) clear.
+  std::vector<double> hubVal_;         ///< min over entry sites of d(s,i)+d(i,w).
+  std::vector<int> hubEntry_;          ///< Entry site realizing hubVal_.
+  std::vector<std::uint64_t> hubStamp_;
+  std::uint64_t hubGen_ = 0;
   /// Per-query observability tallies, flushed into the global registry at
   /// the end of each query (obs::enabled() only; never affect results).
   std::uint64_t obsVisRun_ = 0;     ///< Visibility tests actually evaluated.
   std::uint64_t obsVisPruned_ = 0;  ///< Sites skipped by the Euclidean bound.
+  std::uint64_t obsHubMerge_ = 0;   ///< Label entries scanned by the hub merge.
 };
 
 /// The long-range overlay used to plan around radio holes. Sites are hole
@@ -81,7 +104,7 @@ class OverlayGraph {
  public:
   OverlayGraph(const graph::GeometricGraph& ldel, const holes::HoleAnalysis& analysis,
                const std::vector<abstraction::HoleAbstraction>& abstractions,
-               SiteMode siteMode, EdgeMode edgeMode);
+               SiteMode siteMode, EdgeMode edgeMode, TableMode table = TableMode::Auto);
 
   /// Custom-site overlay (used by the intersecting-hulls extension):
   /// `siteRings` lists the abstraction node rings (e.g. merged hull
@@ -89,7 +112,8 @@ class OverlayGraph {
   /// is still evaluated against the radio-hole polygons.
   OverlayGraph(const graph::GeometricGraph& ldel,
                const std::vector<std::vector<graph::NodeId>>& siteRings,
-               std::vector<geom::Polygon> obstacles, EdgeMode edgeMode);
+               std::vector<geom::Polygon> obstacles, EdgeMode edgeMode,
+               TableMode table = TableMode::Auto);
 
   /// One combined solve into caller-owned scratch + result storage: the
   /// allocation-free hot path of the serving engine. `out.waypoints` is
@@ -120,18 +144,36 @@ class OverlayGraph {
   const std::vector<std::pair<int, int>>& backboneEdges() const { return backboneEdges_; }
   EdgeMode edgeMode() const { return edgeMode_; }
   bool backboneFiltered() const { return filterBackbone_; }
-  /// True when queries are answered from the precomputed site-pair table.
+  /// True when queries are answered from the precomputed site-pair backend.
   bool servesIncrementally() const { return incremental_; }
+  /// The backend mode requested at construction (possibly Auto).
+  TableMode tableMode() const { return tableMode_; }
+  /// True when site-pair queries are served by hub labels (resolved mode).
+  bool usesHubLabels() const { return usesHubLabels_; }
+  /// The label oracle; only built when usesHubLabels().
+  const HubLabelOracle& hubLabels() const { return labels_; }
   /// Precomputed site-pair distance (+inf when disconnected); only valid
   /// when servesIncrementally().
   double sitePairDistance(int i, int j) const {
+    if (usesHubLabels_) return labels_.distance(i, j);
     return siteDist_[static_cast<std::size_t>(i) * sitePos_.size() +
                      static_cast<std::size_t>(j)];
   }
 
-  /// Visibility overlays larger than this fall back to the rebuild path:
-  /// the O(h^2) table would cost too much memory to be a win.
+  /// Dense visibility overlays larger than denseCap() fall back to the
+  /// rebuild path: the O(h^2) table would cost too much memory to be a
+  /// win. Hub labels have no such ceiling. Historical name kept for the
+  /// old-path bench replicas; equals denseCap() unless overridden.
   static constexpr std::size_t kMaxTableSites = 4096;
+
+  /// Runtime-readable dense table cap (default kMaxTableSites).
+  static std::size_t denseCap();
+  /// Auto mode picks hub labels strictly above this site count.
+  static std::size_t autoLabelThreshold();
+  /// Test hook: override the caps (0 = keep current value). Returns the
+  /// previous (denseCap, autoLabelThreshold) pair so tests can restore.
+  static std::pair<std::size_t, std::size_t> setTableLimitsForTest(std::size_t denseCap,
+                                                                   std::size_t autoThreshold);
 
  private:
   struct Query {
@@ -164,11 +206,14 @@ class OverlayGraph {
   bool filterBackbone_ = false;
   std::size_t precomputedEdges_ = 0;
 
-  // Serving engine state (visibility mode, h <= kMaxTableSites).
+  // Serving engine state (visibility mode).
   bool incremental_ = false;
+  TableMode tableMode_ = TableMode::Auto;
+  bool usesHubLabels_ = false;
   graph::CsrAdjacency siteCsr_;          ///< Flat site graph (visibility edges).
-  std::vector<double> siteDist_;         ///< h*h shortest site-pair distances.
+  std::vector<double> siteDist_;         ///< h*h shortest site-pair distances (dense).
   std::vector<std::int32_t> sitePred_;   ///< h*h predecessors (row = source site).
+  HubLabelOracle labels_;                ///< Label backend (usesHubLabels_ only).
 };
 
 }  // namespace hybrid::routing

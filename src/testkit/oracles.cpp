@@ -7,6 +7,8 @@
 
 #include "abstraction/hull_groups.hpp"
 #include "delaunay/triangulation.hpp"
+#include "graph/csr.hpp"
+#include "graph/dijkstra_workspace.hpp"
 #include "graph/shortest_path.hpp"
 #include "protocols/ldel_protocol.hpp"
 #include "protocols/reliable.hpp"
@@ -198,6 +200,7 @@ void applyBug(InjectedBug bug, routing::OverlayRoute& fresh) {
       }
       break;
     case InjectedBug::SwapDeliveryOrder:  // sim-only; handled by its oracle
+    case InjectedBug::DropLabelHub:       // label-slab-only; handled by label_parity
     case InjectedBug::None:
       break;
   }
@@ -214,7 +217,9 @@ OracleResult checkOverlayParity(const CaseContext& ctx) {
 
   for (const routing::EdgeMode em :
        {routing::EdgeMode::Visibility, routing::EdgeMode::Delaunay}) {
-    const auto router = net.makeRouter({routing::SiteMode::HullNodes, em, true});
+    routing::HybridOptions opts{routing::SiteMode::HullNodes, em, true};
+    opts.table = ctx.tableMode();
+    const auto router = net.makeRouter(opts);
     const routing::OverlayGraph& overlay = router->overlay();
     if (overlay.sites().empty()) continue;  // hole-free instance: nothing to differ
     std::uniform_int_distribution<int> pickSite(
@@ -320,8 +325,9 @@ OracleResult checkCompetitiveBound(const CaseContext& ctx) {
       {routing::EdgeMode::Delaunay, 35.37, "delaunay"},
   };
   for (const auto& [mode, bound, label] : routers) {
-    const auto router =
-        net.makeRouter({routing::SiteMode::AllHoleNodes, mode, true});
+    routing::HybridOptions opts{routing::SiteMode::AllHoleNodes, mode, true};
+    opts.table = ctx.tableMode();
+    const auto router = net.makeRouter(opts);
     for (std::size_t i = 0; i < ctx.pairs().size(); ++i) {
       const auto [s, t] = ctx.pairs()[i];
       const auto r = router->route(s, t);
@@ -579,6 +585,141 @@ OracleResult checkSimDeliveryParity(const CaseContext& ctx) {
   return {};
 }
 
+// ---------------------------------------------------------------------------
+// label_parity
+// ---------------------------------------------------------------------------
+
+OracleResult checkLabelParity(const CaseContext& ctx) {
+  const auto& net = ctx.net();
+  routing::HybridOptions lopts{routing::SiteMode::HullNodes, routing::EdgeMode::Visibility,
+                               true};
+  lopts.table = routing::TableMode::HubLabels;
+  const auto labelRouter = net.makeRouter(lopts);
+  const routing::OverlayGraph& lov = labelRouter->overlay();
+  if (lov.sites().empty()) return skipResult();  // hole-free: no labels to check
+  if (!lov.usesHubLabels()) {
+    return failResult("hub-label backend requested but not engaged");
+  }
+  const routing::HubLabelOracle& integrated = lov.hubLabels();
+  const graph::CsrAdjacency csr =
+      graph::buildCsr(lov.siteAdjacency(), lov.sitePositions());
+  const int h = static_cast<int>(lov.sitePositions().size());
+
+  // Thread invariance + the drop-label-hub bug surface: local rebuilds at
+  // several thread counts must be byte-identical to the integrated slab.
+  // The planted defect corrupts the local copy, so this equality is the
+  // net that must catch it.
+  for (const unsigned th : {static_cast<unsigned>(ctx.threads()), 1u, 5u}) {
+    routing::HubLabelOracle local;
+    local.build(csr, th);
+    if (ctx.bug() == InjectedBug::DropLabelHub) {
+      local.corruptDropHubForTest(static_cast<int>(ctx.seed() % static_cast<std::uint64_t>(h)));
+    }
+    if (local.offsets() != integrated.offsets() ||
+        local.entries() != integrated.entries()) {
+      std::ostringstream os;
+      os << "hub-label slab built at " << th
+         << " threads diverges from the integrated build";
+      return failResult(os.str());
+    }
+  }
+
+  // Sampled site pairs against unpruned Dijkstra ground truth: distance,
+  // path validity (real site-graph edges) and path length.
+  std::mt19937_64 rng(deriveSeed(ctx.seed(), 0x6c61626c /* "labl" */));
+  std::uniform_int_distribution<int> pickSite(0, h - 1);
+  graph::DijkstraWorkspace ws;
+  std::vector<int> path;
+  for (int a = 0; a < std::min(h, 4); ++a) {
+    const int s = pickSite(rng);
+    ws.run(csr, s);
+    for (int b = 0; b < 8; ++b) {
+      const int t = pickSite(rng);
+      const double want = ws.dist(t);
+      const double got = integrated.distance(s, t);
+      std::ostringstream at;
+      at << "site pair " << s << "->" << t;
+      if (!closeEnough(got, want, kDistEps)) {
+        std::ostringstream os;
+        os << "label distance mismatch at " << at.str() << ": labels=" << got
+           << " dijkstra=" << want;
+        return failResult(os.str());
+      }
+      path.clear();
+      const bool reached = integrated.path(s, t, path);
+      if (reached == std::isinf(want)) {
+        return failResult("label path reachability disagrees with the distance at " +
+                          at.str());
+      }
+      if (!reached) continue;
+      if (path.front() != s || path.back() != t) {
+        return failResult("label path endpoints wrong at " + at.str());
+      }
+      double len = 0.0;
+      for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+        const int u = path[k];
+        const int v = path[k + 1];
+        const auto& nbs = lov.siteAdjacency()[static_cast<std::size_t>(u)];
+        if (std::find(nbs.begin(), nbs.end(), v) == nbs.end()) {
+          std::ostringstream os;
+          os << "label path uses a non-edge " << u << "-" << v << " at " << at.str();
+          return failResult(os.str());
+        }
+        len += geom::dist(lov.sitePositions()[static_cast<std::size_t>(u)],
+                          lov.sitePositions()[static_cast<std::size_t>(v)]);
+      }
+      if (!closeEnough(len, got, kDistEps)) {
+        std::ostringstream os;
+        os << "label path does not realize the label distance at " << at.str()
+           << ": path=" << len << " distance=" << got;
+        return failResult(os.str());
+      }
+    }
+  }
+
+  // End-to-end query parity against the dense backend.
+  routing::HybridOptions dopts{routing::SiteMode::HullNodes, routing::EdgeMode::Visibility,
+                               true};
+  dopts.table = routing::TableMode::Dense;
+  const auto denseRouter = net.makeRouter(dopts);
+  const routing::OverlayGraph& dov = denseRouter->overlay();
+  const auto bbox = geom::BBox::of(net.ldel().positions());
+  std::uniform_real_distribution<double> dx(bbox.lo.x, bbox.hi.x);
+  std::uniform_real_distribution<double> dy(bbox.lo.y, bbox.hi.y);
+  for (int q = 0; q < 8; ++q) {
+    geom::Vec2 a{dx(rng), dy(rng)};
+    geom::Vec2 b{dx(rng), dy(rng)};
+    if (q % 3 == 2) {  // pure site-to-site lookups have their own branch
+      a = lov.sitePositions()[static_cast<std::size_t>(pickSite(rng))];
+      b = lov.sitePositions()[static_cast<std::size_t>(pickSite(rng))];
+    }
+    const routing::OverlayRoute ref = dov.waypointsWithDistance(a, b);
+    const routing::OverlayRoute fresh = lov.waypointsWithDistance(a, b);
+    std::ostringstream at;
+    at << "query " << q << " (" << a.x << "," << a.y << ")->(" << b.x << "," << b.y << ")";
+    if (fresh.reachable != ref.reachable) {
+      return failResult("label/dense reachability mismatch at " + at.str());
+    }
+    if (!fresh.reachable) continue;
+    if (!closeEnough(fresh.distance, ref.distance, kDistEps)) {
+      std::ostringstream os;
+      os << "label/dense distance mismatch at " << at.str() << ": labels="
+         << fresh.distance << " dense=" << ref.distance;
+      return failResult(os.str());
+    }
+    if (fresh.waypoints != ref.waypoints) {
+      const double len = polylineLength(net, a, b, fresh.waypoints);
+      if (!closeEnough(len, ref.distance, kDistEps)) {
+        std::ostringstream os;
+        os << "label waypoints do not realize the optimal distance at " << at.str()
+           << ": polyline=" << len << " optimal=" << ref.distance;
+        return failResult(os.str());
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* bugName(InjectedBug bug) {
@@ -586,6 +727,7 @@ const char* bugName(InjectedBug bug) {
     case InjectedBug::DropOverlayWaypoint: return "drop-overlay-waypoint";
     case InjectedBug::InflateOverlayDistance: return "inflate-overlay-distance";
     case InjectedBug::SwapDeliveryOrder: return "swap-delivery-order";
+    case InjectedBug::DropLabelHub: return "drop-label-hub";
     case InjectedBug::None: break;
   }
   return "none";
@@ -594,18 +736,19 @@ const char* bugName(InjectedBug bug) {
 InjectedBug parseInjectedBug(std::string_view name) {
   for (const InjectedBug b :
        {InjectedBug::DropOverlayWaypoint, InjectedBug::InflateOverlayDistance,
-        InjectedBug::SwapDeliveryOrder}) {
+        InjectedBug::SwapDeliveryOrder, InjectedBug::DropLabelHub}) {
     if (name == bugName(b)) return b;
   }
   return InjectedBug::None;
 }
 
 CaseContext::CaseContext(scenario::Scenario sc, std::uint64_t seed, int threads,
-                         InjectedBug bug)
+                         InjectedBug bug, routing::TableMode table)
     : sc_(std::move(sc)),
       seed_(seed),
       threads_(threads < 1 ? 1 : threads),
       bug_(bug),
+      table_(table),
       net_(sc_.points, sc_.radius) {
   const int n = static_cast<int>(sc_.points.size());
   if (n < 2) return;
@@ -630,6 +773,7 @@ const std::vector<Oracle>& oracles() {
       {"metamorphic_paths", checkMetamorphicPaths},
       {"arq_vs_faultfree", checkArqVsFaultFree},
       {"sim_delivery_parity", checkSimDeliveryParity},
+      {"label_parity", checkLabelParity},
   };
   return kOracles;
 }

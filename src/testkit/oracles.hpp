@@ -19,6 +19,7 @@ enum class InjectedBug {
   DropOverlayWaypoint,     ///< Overlay answers lose their last waypoint.
   InflateOverlayDistance,  ///< Overlay distances come back 1% long.
   SwapDeliveryOrder,       ///< Threaded sim delivery order off by one swap.
+  DropLabelHub,            ///< Hub-label slab loses one non-self entry.
 };
 
 const char* bugName(InjectedBug bug);
@@ -44,8 +45,11 @@ class CaseContext {
   /// `seed` drives the query pairs (deterministically); `threads` is what
   /// routeBatch/simulator parallel paths run at (their results must be
   /// thread-count-invariant — that invariance is itself under test).
+  /// `table` selects the site-pair backend the router-building oracles
+  /// exercise, so the whole registry can run against hub labels.
   CaseContext(scenario::Scenario sc, std::uint64_t seed, int threads = 2,
-              InjectedBug bug = InjectedBug::None);
+              InjectedBug bug = InjectedBug::None,
+              routing::TableMode table = routing::TableMode::Auto);
   CaseContext(const CaseContext&) = delete;
   CaseContext& operator=(const CaseContext&) = delete;
 
@@ -55,12 +59,14 @@ class CaseContext {
   std::uint64_t seed() const { return seed_; }
   int threads() const { return threads_; }
   InjectedBug bug() const { return bug_; }
+  routing::TableMode tableMode() const { return table_; }
 
  private:
   scenario::Scenario sc_;
   std::uint64_t seed_;
   int threads_;
   InjectedBug bug_;
+  routing::TableMode table_;
   core::HybridNetwork net_;
   std::vector<routing::RoutePair> pairs_;
 };
@@ -90,6 +96,10 @@ struct Oracle {
 ///                       fault-free run
 ///  - sim_delivery_parity: destination-sharded threaded simulator rounds
 ///                       (trace + stats) vs the serial reference
+///  - label_parity:      hub-label oracle vs the dense table: byte-identical
+///                       rebuilds at other thread counts, sampled site-pair
+///                       distances/paths vs Dijkstra ground truth, and
+///                       end-to-end query parity against the dense backend
 const std::vector<Oracle>& oracles();
 
 /// nullptr when unknown.

@@ -192,6 +192,140 @@ TEST(OverlayParity, IncrementalEngineMatchesLegacyRebuild) {
   EXPECT_GE(checked, 200);
 }
 
+/// The hub-label backend against the dense table: every precomputed site
+/// pair plus end-to-end queries, across the full parity-case matrix. Ties
+/// may pick different hubs than the dense argmin scan, so waypoint lists
+/// are compared by realized length.
+TEST(OverlayParity, HubLabelBackendMatchesDense) {
+  int checked = 0;
+  for (const auto& pc : parityCases()) {
+    scenario::ScenarioParams p;
+    p.width = p.height = 14.0;
+    p.seed = pc.seed;
+    p.obstacles = pc.obstacles;
+    const auto sc = scenario::makeScenario(p);
+    const core::HybridNetwork net(sc.points);
+    for (const SiteMode sm : {SiteMode::HullNodes, SiteMode::AllHoleNodes}) {
+      HybridOptions denseOpts{sm, EdgeMode::Visibility, true};
+      denseOpts.table = TableMode::Dense;
+      HybridOptions labelOpts{sm, EdgeMode::Visibility, true};
+      labelOpts.table = TableMode::HubLabels;
+      const auto denseRouter = net.makeRouter(denseOpts);
+      const auto labelRouter = net.makeRouter(labelOpts);
+      const OverlayGraph& dense = denseRouter->overlay();
+      const OverlayGraph& labels = labelRouter->overlay();
+      ASSERT_FALSE(dense.usesHubLabels());
+      ASSERT_TRUE(labels.usesHubLabels());
+      ASSERT_TRUE(labels.servesIncrementally());
+
+      const int h = static_cast<int>(dense.sites().size());
+      ASSERT_GT(h, 0) << "seed=" << pc.seed;
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < h; ++j) {
+          const double d = dense.sitePairDistance(i, j);
+          const double l = labels.sitePairDistance(i, j);
+          if (std::isinf(d)) {
+            EXPECT_TRUE(std::isinf(l)) << "seed=" << pc.seed << " pair " << i << "," << j;
+          } else {
+            EXPECT_NEAR(l, d, 1e-9 * std::max(1.0, d))
+                << "seed=" << pc.seed << " pair " << i << "," << j;
+          }
+        }
+      }
+
+      std::mt19937 rng(pc.seed * 7919 + static_cast<unsigned>(sm));
+      std::uniform_real_distribution<double> d(0.5, 13.5);
+      std::uniform_int_distribution<int> pickSite(0, h - 1);
+      for (int q = 0; q < 12; ++q) {
+        geom::Vec2 a{d(rng), d(rng)};
+        geom::Vec2 b{d(rng), d(rng)};
+        if (q % 4 == 1) a = dense.sitePositions()[static_cast<std::size_t>(pickSite(rng))];
+        if (q % 4 == 2) {
+          a = dense.sitePositions()[static_cast<std::size_t>(pickSite(rng))];
+          b = dense.sitePositions()[static_cast<std::size_t>(pickSite(rng))];
+        }
+        const auto ref = dense.waypointsWithDistance(a, b);
+        const auto fresh = labels.waypointsWithDistance(a, b);
+        ++checked;
+        ASSERT_EQ(fresh.reachable, ref.reachable) << "seed=" << pc.seed << " q=" << q;
+        if (!fresh.reachable) continue;
+        EXPECT_NEAR(fresh.distance, ref.distance, 1e-6) << "seed=" << pc.seed << " q=" << q;
+        if (fresh.waypoints != ref.waypoints) {
+          EXPECT_NEAR(polylineLength(net, a, b, fresh.waypoints), ref.distance, 1e-6)
+              << "seed=" << pc.seed << " q=" << q;
+        }
+      }
+    }
+  }
+  EXPECT_GE(checked, 100);
+}
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define HYBRID_PARITY_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HYBRID_PARITY_SANITIZED 1
+#endif
+
+/// The old serving engine refused overlays above kMaxTableSites (4096) and
+/// silently fell back to a per-query rebuild. With hub labels the ceiling
+/// is gone: a ring of sites above the cap serves incrementally and matches
+/// the rebuild ground truth. Release builds cross the historical 4096
+/// boundary for real; Debug/sanitizer builds lower the caps instead so the
+/// same code path runs within their runtime budget.
+TEST(OverlayParity, SitesAboveDenseCapServeIncrementallyViaLabels) {
+#if defined(NDEBUG) && !defined(HYBRID_PARITY_SANITIZED)
+  const int n = 4288;  // genuinely above the historical dense ceiling
+  const auto prevLimits = OverlayGraph::setTableLimitsForTest(0, 0);
+#else
+  const int n = 576;
+  const auto prevLimits = OverlayGraph::setTableLimitsForTest(512, 256);
+#endif
+  // Sites on a circle around a square obstacle whose corners nearly touch
+  // it: visibility windows stay local, so construction and queries remain
+  // cheap at thousands of sites.
+  std::vector<geom::Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    pts.push_back({4.0 * std::cos(a), 4.0 * std::sin(a)});
+  }
+  graph::GeometricGraph ldel(pts);
+  std::vector<graph::NodeId> ring(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ring[static_cast<std::size_t>(i)] = i;
+  const double r = 4.0 * 0.9995;
+  std::vector<geom::Polygon> obstacles = {geom::Polygon({{r, 0}, {0, r}, {-r, 0}, {0, -r}})};
+  const OverlayGraph overlay(ldel, {ring}, obstacles, EdgeMode::Visibility, TableMode::Auto);
+
+  ASSERT_EQ(overlay.sites().size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(overlay.servesIncrementally());
+  EXPECT_TRUE(overlay.usesHubLabels());
+  // The label slab must undercut the dense footprint it replaced
+  // (h^2 doubles + h^2 int32 predecessors).
+  EXPECT_LT(overlay.hubLabels().labelBytes(),
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(n) * 12 / 4);
+
+  std::mt19937 rng(29);
+  std::uniform_real_distribution<double> d(-5.0, 5.0);
+  std::uniform_int_distribution<int> pickSite(0, n - 1);
+  for (int q = 0; q < 6; ++q) {
+    geom::Vec2 a{d(rng), d(rng)};
+    geom::Vec2 b{d(rng), d(rng)};
+    if (q % 2 == 1) {
+      a = overlay.sitePositions()[static_cast<std::size_t>(pickSite(rng))];
+      b = overlay.sitePositions()[static_cast<std::size_t>(pickSite(rng))];
+    }
+    const auto ref = testkit::referenceOverlayQuery(overlay, a, b);
+    const auto fresh = overlay.waypointsWithDistance(a, b);
+    ASSERT_EQ(fresh.reachable, ref.reachable) << "q=" << q;
+    if (!fresh.reachable) continue;
+    EXPECT_NEAR(fresh.distance, ref.distance, 1e-6) << "q=" << q;
+  }
+  OverlayGraph::setTableLimitsForTest(prevLimits.first, prevLimits.second);
+}
+
 /// Regression for the grazing-segment class: queries whose endpoint-site
 /// segments run exactly along hull edges or through hull corners. The
 /// engine tests visibility endpoint-first; before the orientation fix the

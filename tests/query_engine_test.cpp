@@ -185,5 +185,42 @@ TEST(QueryEngine, OverlayWorkspaceQueriesAreAllocationFree) {
   }
 }
 
+TEST(QueryEngine, HubLabelWorkspaceQueriesAreAllocationFree) {
+  // Same contract as the dense-table test above, but with the hub-bucket
+  // scan: the generation-stamped bucket arrays must reach steady state
+  // after warm-up instead of reallocating per query.
+  scenario::ScenarioParams p;
+  p.width = p.height = 14.0;
+  p.seed = 77;
+  p.obstacles.push_back(scenario::rectangleObstacle({5.0, 5.0}, {9.0, 9.0}));
+  const auto sc = scenario::makeScenario(p);
+  const core::HybridNetwork net(sc.points);
+  HybridOptions opts{SiteMode::HullNodes, EdgeMode::Visibility, true};
+  opts.table = TableMode::HubLabels;
+  const auto router = net.makeRouter(opts);
+  const OverlayGraph& overlay = router->overlay();
+  ASSERT_TRUE(overlay.servesIncrementally());
+  ASSERT_TRUE(overlay.usesHubLabels());
+
+  OverlayQueryWorkspace ws;
+  OverlayRoute out;
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> d(1.0, 13.0);
+  std::vector<std::pair<geom::Vec2, geom::Vec2>> queries;
+  for (int it = 0; it < 100; ++it) {
+    queries.push_back({{d(rng), d(rng)}, {d(rng), d(rng)}});
+  }
+  overlay.query({2.0, 7.0}, {12.0, 7.0}, ws, out);
+  ASSERT_TRUE(out.reachable);
+  ASSERT_FALSE(out.waypoints.empty());
+  for (const auto& [a, b] : queries) overlay.query(a, b, ws, out);
+
+  const long before = testsupport::heapAllocCount();
+  for (const auto& [a, b] : queries) overlay.query(a, b, ws, out);
+  if (testsupport::heapAllocCountingEnabled()) {
+    EXPECT_EQ(testsupport::heapAllocCount(), before);
+  }
+}
+
 }  // namespace
 }  // namespace hybrid::routing

@@ -37,7 +37,10 @@ void usage() {
       "  --threads K       thread count for the parallel paths under test (default 2)\n"
       "  --corpus DIR      shrink + record failing cases as JSON under DIR\n"
       "  --inject-bug B    plant a deliberate defect: drop-overlay-waypoint |\n"
-      "                    inflate-overlay-distance | swap-delivery-order (default none)\n"
+      "                    inflate-overlay-distance | swap-delivery-order |\n"
+      "                    drop-label-hub (default none)\n"
+      "  --table-mode M    site-pair backend the oracles route through:\n"
+      "                    dense | labels | auto (default auto)\n"
       "  --shrink-min N    do not shrink below N nodes (default 8)\n"
       "  --replay FILE     replay one corpus case instead of fuzzing\n"
       "  --metrics FILE    enable observability and write an obs snapshot (JSON)\n"
@@ -93,6 +96,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "fuzz_router: unknown bug '%s'\n", name);
         return 2;
       }
+    } else if (arg == "--table-mode") {
+      const char* name = value();
+      const auto mode = hybrid::routing::parseTableMode(name);
+      if (!mode) {
+        std::fprintf(stderr, "fuzz_router: unknown table mode '%s'\n", name);
+        return 2;
+      }
+      opts.tableMode = *mode;
     } else if (arg == "--shrink-min") {
       opts.shrink.minNodes = static_cast<std::size_t>(std::atoi(value()));
     } else if (arg == "--replay") {
@@ -106,7 +117,8 @@ int main(int argc, char** argv) {
       for (const auto& o : hybrid::testkit::oracles()) std::printf("  %s\n", o.name);
       std::printf(
           "bugs:\n  drop-overlay-waypoint\n  inflate-overlay-distance\n"
-          "  swap-delivery-order\n");
+          "  swap-delivery-order\n  drop-label-hub\n");
+      std::printf("table modes:\n  dense\n  labels\n  auto\n");
       return 0;
     } else if (arg == "--verbose") {
       opts.verbose = true;
