@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "protocols/overlay_tree.hpp"
+#include "protocols/reliable.hpp"
+#include "routing/node_labels.hpp"
+#include "sim/simulator.hpp"
+
+namespace hybrid::protocols {
+
+/// Traffic accounting of one label distribution (also mirrored into the
+/// obs registry as labels.dist.* when enabled).
+struct LabelDistributionReport {
+  int rounds = 0;
+  long messages = 0;        ///< Protocol data messages (routing digests + bundles).
+  long words = 0;           ///< Payload words of those messages.
+  long maxBundleWords = 0;  ///< Largest single label bundle.
+  bool complete = false;    ///< Every tree node received its label.
+};
+
+/// Ships per-node forwarding labels from the overlay-tree root to every
+/// node, modeled on the hull-distribution phase (§5.5):
+///
+///  1. Up phase: each node convergecasts the id set of its subtree, so
+///     every inner node learns which child subtree holds which id — the
+///     only routing state the down phase needs (O(subtree) words per tree
+///     edge, exactly like the hull convergecast).
+///  2. Down phase: the root (which holds the built NodeLabels — in a real
+///     deployment the preprocessing leader) emits one bundle per node,
+///     `ints = [owner, (hub, nextHop, hubOut)*]`, `reals = [dist*]`, and
+///     every inner node forwards bundles into the child subtree that
+///     contains the owner. Each bundle crosses depth(owner) tree links,
+///     for a total message budget of O(sum depths) = O(n log n) on the
+///     O(log n)-height tree.
+///
+/// With `retry` set the run is wrapped in the reliable ARQ transport, so a
+/// lossy FaultPlan yields byte-identical labels to the fault-free run
+/// (label_distribution_test). `received[v]` gets node v's entries, ready
+/// for NodeLabels::fromEntries; nodes outside the root's tree (disconnected
+/// UDG) receive nothing and `complete` reports it.
+LabelDistributionReport distributeNodeLabels(
+    sim::Simulator& simulator, const OverlayTree& tree, const routing::NodeLabels& labels,
+    std::vector<std::vector<routing::NodeLabels::Entry>>* received,
+    const RetryPolicy* retry = nullptr);
+
+}  // namespace hybrid::protocols

@@ -115,6 +115,35 @@ void HubLabelOracle::build(const graph::CsrAdjacency& g, unsigned threads) {
   }
 }
 
+void HubLabelOracle::distanceMany(int s, std::span<const int> targets, MergeWorkspace& ws,
+                                  std::span<double> out) const {
+  const std::size_t h = numSites();
+  if (ws.stamp_.size() < h) {
+    ws.hubDist_.resize(h);
+    ws.stamp_.resize(h, 0);
+  }
+  ++ws.gen_;
+  if (ws.gen_ == 0) {  // stamp wrap-around: re-zero and restart
+    std::fill(ws.stamp_.begin(), ws.stamp_.end(), 0);
+    ws.gen_ = 1;
+  }
+  for (const Entry& e : label(s)) {
+    const auto w = static_cast<std::size_t>(e.hub);
+    ws.stamp_[w] = ws.gen_;
+    ws.hubDist_[w] = e.dist;  // labels hold one entry per hub: no min needed
+  }
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Entry& e : label(targets[k])) {
+      const auto w = static_cast<std::size_t>(e.hub);
+      if (ws.stamp_[w] != ws.gen_) continue;
+      const double c = ws.hubDist_[w] + e.dist;
+      if (c < best) best = c;
+    }
+    out[k] = best;
+  }
+}
+
 const HubLabelOracle::Entry* HubLabelOracle::findEntry(int u, std::int32_t hub) const {
   const auto l = label(u);
   const auto it = std::lower_bound(

@@ -87,6 +87,27 @@ class HubLabelOracle {
   /// false when disconnected or the labels are corrupt (`out` unchanged).
   bool path(int s, int t, std::vector<int>& out) const;
 
+  /// Reusable scratch for distanceMany(): per-hub buckets, generation
+  /// stamped so a batch never pays an O(numSites) clear. One workspace
+  /// must not be shared between concurrent batches.
+  class MergeWorkspace {
+   private:
+    friend class HubLabelOracle;
+    std::vector<double> hubDist_;
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t gen_ = 0;
+  };
+
+  /// One-source many-targets distances: d(s, targets[k]) into out[k].
+  /// Stamps s's label into per-hub buckets once, then completes each
+  /// target label against the buckets — O(|L(s)| + sum |L(t)|) for the
+  /// whole batch instead of one full two-pointer merge per pair.
+  /// Each value equals distance(s, targets[k]) exactly (same candidate
+  /// set, and min over doubles is order-independent). Alloc-free once the
+  /// workspace has grown to numSites().
+  void distanceMany(int s, std::span<const int> targets, MergeWorkspace& ws,
+                    std::span<double> out) const;
+
   // --- Stats (obs gauges, benches). ---
   std::size_t numEntries() const { return entries_.size(); }
   std::size_t labelBytes() const {

@@ -1,0 +1,168 @@
+#include "routing/node_labels.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hybrid::routing {
+
+void NodeLabels::build(const HubLabelOracle& oracle) {
+  const std::size_t n = oracle.numSites();
+  const std::size_t m = oracle.numEntries();
+  offsets_ = oracle.offsets();
+  hubs_.resize(m);
+  nextHop_.resize(m);
+  hubOut_.resize(m);
+  dist_.resize(m);
+  maxLabel_ = oracle.maxLabelSize();
+  if (n == 0) {
+    offsets_.assign(1, 0);
+    return;
+  }
+
+  // Columns straight from the oracle slab; the owner of each entry index is
+  // recovered from the offsets for the hub-major pass below.
+  const auto& es = oracle.entries();
+  std::vector<std::int32_t> owner(m);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto b = static_cast<std::size_t>(offsets_[v]);
+    const auto e = static_cast<std::size_t>(offsets_[v + 1]);
+    for (std::size_t i = b; i < e; ++i) owner[i] = static_cast<std::int32_t>(v);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    hubs_[i] = es[i].hub;
+    nextHop_[i] = es[i].pred;
+    dist_[i] = es[i].dist;
+  }
+
+  // hubOut: for each hub w and each node v in w's shortest-path tree, the
+  // first hop of the tree path w -> v. Processing w's entries in distance
+  // order resolves parents before children (preds settle at strictly
+  // smaller distance — edge weights are positive Euclidean lengths), so
+  //   firstHop[v] = v              when pred(v) == w (v adjacent to w)
+  //   firstHop[v] = firstHop[pred] otherwise
+  // needs one forward scan. `seenHub` stamps the scratch per hub so the
+  // pass never pays an O(n) clear between hubs. The order key
+  // (hub, dist, owner) is unique per entry — the derivation is a
+  // deterministic function of the already thread-invariant oracle slab.
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (hubs_[a] != hubs_[b]) return hubs_[a] < hubs_[b];
+    if (dist_[a] != dist_[b]) return dist_[a] < dist_[b];
+    return owner[a] < owner[b];
+  });
+  std::vector<std::int32_t> firstHop(n, -1);
+  std::vector<std::int32_t> seenHub(n, -1);
+  for (const std::size_t i : order) {
+    const std::int32_t v = owner[i];
+    const std::int32_t w = hubs_[i];
+    const std::int32_t p = nextHop_[i];
+    std::int32_t fh = -1;
+    if (v != w) {
+      if (p == w) {
+        fh = v;
+      } else if (p >= 0 && seenHub[static_cast<std::size_t>(p)] == w) {
+        fh = firstHop[static_cast<std::size_t>(p)];
+      }
+      // else: broken pred chain (corrupt oracle) — keep -1, the hop rule
+      // fails cleanly instead of forwarding somewhere arbitrary.
+    }
+    firstHop[static_cast<std::size_t>(v)] = fh;
+    seenHub[static_cast<std::size_t>(v)] = w;
+    hubOut_[i] = fh;
+  }
+}
+
+NodeLabels NodeLabels::fromEntries(std::span<const std::vector<Entry>> perNode) {
+  NodeLabels l;
+  const std::size_t n = perNode.size();
+  l.offsets_.assign(n + 1, 0);
+  std::size_t m = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    m += perNode[v].size();
+    l.offsets_[v + 1] = static_cast<std::int64_t>(m);
+    l.maxLabel_ = std::max(l.maxLabel_, perNode[v].size());
+  }
+  l.hubs_.reserve(m);
+  l.nextHop_.reserve(m);
+  l.hubOut_.reserve(m);
+  l.dist_.reserve(m);
+  for (const auto& label : perNode) {
+    for (const Entry& e : label) {
+      l.hubs_.push_back(e.hub);
+      l.nextHop_.push_back(e.nextHop);
+      l.hubOut_.push_back(e.hubOut);
+      l.dist_.push_back(e.dist);
+    }
+  }
+  return l;
+}
+
+std::vector<NodeLabels::Entry> NodeLabels::entriesOf(int v) const {
+  const View lv = view(v);
+  std::vector<Entry> out;
+  out.reserve(lv.size());
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    out.push_back({lv.hubs[i], lv.nextHop[i], lv.hubOut[i], lv.dist[i]});
+  }
+  return out;
+}
+
+NodeLabels::Hop NodeLabels::nextHop(int v, int t) const {
+  const View lv = view(v);
+  const View lt = view(t);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t bi = 0;
+  std::size_t bj = 0;
+  bool found = false;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < lv.size() && j < lt.size()) {
+    const std::int32_t hv = lv.hubs[i];
+    const std::int32_t ht = lt.hubs[j];
+    if (hv < ht) {
+      ++i;
+    } else if (ht < hv) {
+      ++j;
+    } else {
+      // Strict < keeps the lowest common hub id on ties — the same
+      // tie-break as HubLabelOracle::meet, so the walk and the
+      // centralized path agree on which shortest path realizes d(v,t).
+      const double c = lv.dist[i] + lt.dist[j];
+      if (c < best) {
+        best = c;
+        bi = i;
+        bj = j;
+        found = true;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (!found) return {};
+  Hop hop;
+  hop.distance = best;
+  const std::int32_t w = lv.hubs[bi];
+  // At the meet hub itself the climb is over; descend along the hub's own
+  // tree toward the target via the target's hubOut. Everywhere else climb
+  // toward the hub via this node's nextHop.
+  hop.next = w == v ? lt.hubOut[bj] : lv.nextHop[bi];
+  return hop;
+}
+
+NodeLabels::CorruptedHop NodeLabels::corruptNextHopForTest(int startNode) {
+  const int n = static_cast<int>(numNodes());
+  for (int k = 0; k < n; ++k) {
+    const int v = (startNode + k) % n;
+    const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t i = b; i < e; ++i) {
+      if (hubs_[i] == v) continue;  // self entry has no next hop
+      nextHop_[i] = v;              // forward to yourself: a routing loop
+      return {v, hubs_[i]};
+    }
+  }
+  return {};
+}
+
+}  // namespace hybrid::routing

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "routing/hub_labels.hpp"
+
+namespace hybrid::routing {
+
+/// Immutable per-node forwarding labels derived from a HubLabelOracle.
+///
+/// The oracle answers centralized queries: one object walks pred chains and
+/// emits the whole path. Stateless forwarding instead gives every node its
+/// own label so the node holding a packet computes the next hop locally
+/// (Kuhn–Schneider-style routing schemes, arXiv:2202.06624 / 2210.05333):
+/// for each hub w in its oracle label, node v stores
+///
+///   (hub, dist, nextHop, hubOut)
+///
+/// where `nextHop` is v's neighbor toward w (the oracle entry's pred) and
+/// `hubOut` is w's first hop toward v in w's shortest-path tree — the one
+/// datum pred chains cannot provide locally, because descending *away* from
+/// a hub at the hub itself needs the first edge of the reversed chain.
+///
+/// Hop rule (nextHop(v, t)): merge label(v) and label(t) by hub id; take
+/// the common hub w minimizing d(v,w) + d(w,t), ties to the lowest hub id.
+/// If w != v the packet climbs toward w via v's `nextHop`; if w == v the
+/// packet descends via the *target's* `hubOut` for w (the first hop of the
+/// tree path v -> t). Every step lands on a shortest v-t path, so the
+/// merged estimate decreases by exactly the edge length each hop — the
+/// walk terminates in at most numNodes() hops with the exact shortest
+/// length, using only the current node's view plus the target's label.
+///
+/// Storage is one flat SoA slab (per-node spans, no per-node allocations),
+/// built by a deterministic serial pass over the oracle's thread-invariant
+/// slab — byte-identical at any thread count by construction.
+class NodeLabels {
+ public:
+  /// One label entry in AoS form (distribution payloads, tests). The slab
+  /// itself stores columns; see View.
+  struct Entry {
+    std::int32_t hub;      ///< Hub node id.
+    std::int32_t nextHop;  ///< Owner's neighbor toward the hub (-1 on self entry).
+    std::int32_t hubOut;   ///< Hub's first hop toward the owner (-1 on self entry).
+    double dist;           ///< Owner<->hub distance (oracle tree path length).
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// One node's slice of the slab: four parallel spans, hub-sorted.
+  struct View {
+    std::span<const std::int32_t> hubs;
+    std::span<const std::int32_t> nextHop;
+    std::span<const std::int32_t> hubOut;
+    std::span<const double> dist;
+
+    std::size_t size() const { return hubs.size(); }
+  };
+
+  /// Next-hop decision for one (node, target) pair.
+  struct Hop {
+    int next = -1;  ///< Neighbor to forward to; -1 when no common hub.
+    double distance = std::numeric_limits<double>::infinity();  ///< Merged d(v,t).
+
+    bool ok() const { return next >= 0; }
+  };
+
+  /// Derives all per-node labels from a built oracle. `nextHop` copies the
+  /// oracle preds; `hubOut` comes from one hub-major scan over the slab
+  /// (entries sorted by (hub, dist, owner)): a hub's tree parents settle at
+  /// strictly smaller distance, so `firstHop[v] = v if pred(v) == hub else
+  /// firstHop[pred(v)]` is always resolved before it is read.
+  void build(const HubLabelOracle& oracle);
+
+  /// Assembles the slab from explicit per-node entry lists (the label
+  /// distribution protocol's receive side). Entries must be hub-sorted per
+  /// node, as shipped. The result is byte-identical to build() when the
+  /// lists are the built labels.
+  static NodeLabels fromEntries(std::span<const std::vector<Entry>> perNode);
+
+  bool built() const { return !offsets_.empty(); }
+  std::size_t numNodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t numEntries() const { return hubs_.size(); }
+
+  View view(int v) const {
+    const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    const std::size_t n = e - b;
+    return {{hubs_.data() + b, n},
+            {nextHop_.data() + b, n},
+            {hubOut_.data() + b, n},
+            {dist_.data() + b, n}};
+  }
+
+  /// Copies node v's label into AoS form (distribution payloads, tests).
+  std::vector<Entry> entriesOf(int v) const;
+
+  /// The forwarding decision at node v for target t: one alloc-free
+  /// two-pointer merge of the two labels (O(|L(v)| + |L(t)|)). Returns a
+  /// failed Hop when the labels share no hub (disconnected or corrupt).
+  /// Not meaningful for v == t (callers stop before forwarding).
+  Hop nextHop(int v, int t) const;
+
+  // --- Stats (obs gauges, benches). ---
+  std::size_t labelBytes() const {
+    return hubs_.size() * (2 * sizeof(std::int32_t) + sizeof(std::int32_t) + sizeof(double)) +
+           offsets_.size() * sizeof(offsets_[0]);
+  }
+  double bytesPerNode() const {
+    return numNodes() == 0 ? 0.0
+                           : static_cast<double>(labelBytes()) / static_cast<double>(numNodes());
+  }
+  std::size_t maxLabelSize() const { return maxLabel_; }
+
+  bool operator==(const NodeLabels&) const = default;
+
+  /// Test-only corruption hook for the injected wrong-next-hop bug:
+  /// starting at `startNode` (wrapping), redirects one non-self entry's
+  /// nextHop back to the owner — a forwarding self-loop the hop guard must
+  /// turn into a clean failure. Returns the (node, hub) hit.
+  struct CorruptedHop {
+    int node = -1;
+    int hub = -1;
+  };
+  CorruptedHop corruptNextHopForTest(int startNode);
+
+ private:
+  std::vector<std::int64_t> offsets_;  ///< size numNodes()+1, into the columns.
+  std::vector<std::int32_t> hubs_;     ///< Hub ids, sorted per node.
+  std::vector<std::int32_t> nextHop_;  ///< Owner's neighbor toward the hub.
+  std::vector<std::int32_t> hubOut_;   ///< Hub's first hop toward the owner.
+  std::vector<double> dist_;           ///< Owner<->hub distances.
+  std::size_t maxLabel_ = 0;
+};
+
+}  // namespace hybrid::routing

@@ -538,15 +538,25 @@ void OverlayGraph::queryIncremental(geom::Vec2 from, geom::Vec2 to,
           if (numExits == kSeeds) break;
         }
       }
+      double seedDist[kSeeds];
       for (int a = 0; a < numEntries; ++a) {
         const int i = seedEntries[a];
         const double entryLeg =
             i == fromSite ? 0.0 : geom::dist(from, sitePos_[static_cast<std::size_t>(i)]);
+        if (usesHubLabels_) {
+          // Batched label merge: stamp i's label into the hub buckets once
+          // and answer every exit from them, instead of one full
+          // two-pointer merge per (i, j) pair. Values are identical to
+          // sitePairDistance() per pair.
+          labels_.distanceMany(i, {seedExits, static_cast<std::size_t>(numExits)},
+                               ws.hubMergeWs_, {seedDist, static_cast<std::size_t>(numExits)});
+        }
         for (int b = 0; b < numExits; ++b) {
           const int j = seedExits[b];
           const double exitLeg =
               j == toSite ? 0.0 : geom::dist(sitePos_[static_cast<std::size_t>(j)], to);
-          bound = std::min(bound, entryLeg + sitePairDistance(i, j) + exitLeg);
+          const double mid = usesHubLabels_ ? seedDist[b] : sitePairDistance(i, j);
+          bound = std::min(bound, entryLeg + mid + exitLeg);
         }
       }
     }

@@ -80,6 +80,8 @@ class alignas(64) OverlayQueryWorkspace {
   std::vector<int> hubEntry_;          ///< Entry site realizing hubVal_.
   std::vector<std::uint64_t> hubStamp_;
   std::uint64_t hubGen_ = 0;
+  /// Batched seed-bound scratch (HubLabelOracle::distanceMany).
+  HubLabelOracle::MergeWorkspace hubMergeWs_;
   /// Per-query observability tallies, flushed into the global registry at
   /// the end of each query (obs::enabled() only; never affect results).
   std::uint64_t obsVisRun_ = 0;     ///< Visibility tests actually evaluated.

@@ -1,0 +1,101 @@
+#include "routing/stateless_router.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "routing/hub_labels.hpp"
+
+namespace hybrid::routing {
+
+namespace {
+
+#ifndef HYBRID_OBS_DISABLED
+/// Registry handles resolved once; the forwarding loop only touches atomics.
+struct FwdMetrics {
+  obs::Counter& queries;
+  obs::Counter& delivered;
+  obs::Counter& failures;
+  obs::Counter& hops;
+  obs::Histogram& mergeLen;
+
+  static FwdMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static FwdMetrics m{reg.counter("fwd.queries"), reg.counter("fwd.delivered"),
+                        reg.counter("fwd.failures"), reg.counter("fwd.hops"),
+                        reg.histogram("fwd.merge_len", {4, 16, 64, 256, 1024, 4096})};
+    return m;
+  }
+};
+#endif
+
+}  // namespace
+
+StatelessRouter::StatelessRouter(const graph::GeometricGraph& g, unsigned threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const graph::CsrAdjacency csr = graph::buildCsr(g);
+  HubLabelOracle oracle;
+  oracle.build(csr, threads);
+  labels_.build(oracle);
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    const auto ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    auto& reg = obs::Registry::global();
+    reg.gauge("fwd.labels.bytes").set(static_cast<double>(labels_.labelBytes()));
+    reg.gauge("fwd.labels.bytes_per_node").set(labels_.bytesPerNode());
+    reg.gauge("fwd.labels.max_label").set(static_cast<double>(labels_.maxLabelSize()));
+    reg.gauge("fwd.labels.build_ms").set(ms);
+  });
+}
+
+StatelessRouter::StatelessRouter(NodeLabels labels) : labels_(std::move(labels)) {}
+
+RouteResult StatelessRouter::route(graph::NodeId source, graph::NodeId target) const {
+  RouteResult r;
+  const int n = static_cast<int>(labels_.numNodes());
+  if (source < 0 || source >= n || target < 0 || target >= n) return r;
+  r.path.push_back(source);
+  if (source == target) {
+    r.delivered = true;
+    HYBRID_OBS_STMT(if (obs::enabled()) {
+      auto& m = FwdMetrics::get();
+      m.queries.add(1);
+      m.delivered.add(1);
+    });
+    return r;
+  }
+#ifndef HYBRID_OBS_DISABLED
+  std::uint64_t mergeLen = 0;
+#endif
+  // Strictly decreasing merged distance bounds the walk by the node count;
+  // the slack absorbs the final hop and makes the guard a clean-failure
+  // path for corrupt labels (loops, dead next hops), never a hot one.
+  std::size_t guard = labels_.numNodes() + 2;
+  int v = source;
+  while (v != target) {
+    const NodeLabels::Hop hop = labels_.nextHop(v, target);
+    HYBRID_OBS_STMT(mergeLen += labels_.view(v).size() + labels_.view(target).size());
+    if (!hop.ok() || hop.next >= n || --guard == 0) {
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        auto& m = FwdMetrics::get();
+        m.queries.add(1);
+        m.failures.add(1);
+        m.hops.add(r.path.size() - 1);
+      });
+      return r;  // disconnected pair or corrupt labels: clean not-delivered
+    }
+    v = hop.next;
+    r.path.push_back(v);
+  }
+  r.delivered = true;
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    auto& m = FwdMetrics::get();
+    m.queries.add(1);
+    m.delivered.add(1);
+    m.hops.add(r.path.size() - 1);
+    m.mergeLen.record(static_cast<double>(mergeLen));
+  });
+  return r;
+}
+
+}  // namespace hybrid::routing

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+#include "routing/node_labels.hpp"
+#include "routing/router.hpp"
+
+namespace hybrid::routing {
+
+/// Stateless per-node label forwarding over the full ad hoc graph.
+///
+/// route() walks hop by hop: at each node it consults only that node's
+/// immutable label view (plus the target's label — the "address" a real
+/// deployment ships in the packet header), so a query touches no shared
+/// mutable state whatsoever. routeBatch is embarrassingly parallel: any
+/// node of a sharded serving tier could answer any hop of any query from
+/// its own O(polylog) label slab, which is the architecture this router
+/// models in-process.
+///
+/// The walked path realizes the exact label-oracle shortest distance (the
+/// merged estimate drops by each hop's edge length — see NodeLabels), so
+/// results match the centralized HubLabelOracle::path() in length; on hub
+/// ties the two may pick different shortest paths of equal length. A hop
+/// guard turns corrupt labels or forwarding loops into a clean
+/// not-delivered result instead of an endless walk.
+class StatelessRouter : public Router {
+ public:
+  /// Builds CSR + hub-label oracle + per-node labels for `g`'s nodes.
+  /// Labels are byte-identical at any `threads`.
+  explicit StatelessRouter(const graph::GeometricGraph& g, unsigned threads = 1);
+
+  /// Serves from pre-built labels (e.g. shipped by the label-distribution
+  /// protocol) without rebuilding anything.
+  explicit StatelessRouter(NodeLabels labels);
+
+  RouteResult route(graph::NodeId source, graph::NodeId target) const override;
+  std::string name() const override { return "stateless-labels"; }
+
+  const NodeLabels& labels() const { return labels_; }
+  /// Test hook for injected-bug corruption (see NodeLabels).
+  NodeLabels& mutableLabelsForTest() { return labels_; }
+
+ private:
+  NodeLabels labels_;
+};
+
+}  // namespace hybrid::routing

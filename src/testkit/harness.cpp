@@ -79,7 +79,8 @@ FuzzSummary runFuzz(const FuzzOptions& opts) {
 
     int failedOracle = -1;
     try {
-      const CaseContext ctx(gc.scenario, caseSeed, opts.threads, opts.bug, opts.tableMode);
+      const CaseContext ctx(gc.scenario, caseSeed, opts.threads, opts.bug, opts.tableMode,
+                            opts.routerKind);
       const CaseVerdict v = runOracles(ctx, &summary.perOracle);
       failedOracle = v.failedOracle;
       if (failedOracle >= 0) {
@@ -105,14 +106,16 @@ FuzzSummary runFuzz(const FuzzOptions& opts) {
     const auto reproduces = [&](const scenario::Scenario& candidate) {
       if (failure.oracle == "construction") {
         try {
-          CaseContext probe(candidate, caseSeed, opts.threads, opts.bug, opts.tableMode);
+          CaseContext probe(candidate, caseSeed, opts.threads, opts.bug, opts.tableMode,
+                            opts.routerKind);
           (void)probe;
           return false;
         } catch (...) {
           return true;
         }
       }
-      const CaseContext probe(candidate, caseSeed, opts.threads, opts.bug, opts.tableMode);
+      const CaseContext probe(candidate, caseSeed, opts.threads, opts.bug, opts.tableMode,
+                              opts.routerKind);
       const OracleResult r = reg[static_cast<std::size_t>(failedOracle)].check(probe);
       return !r.ok && !r.skipped;
     };

@@ -28,6 +28,10 @@ struct FuzzOptions {
   /// (fuzz_router --table-mode); lets the whole registry exercise hub
   /// labels, not just the label_parity oracle.
   routing::TableMode tableMode = routing::TableMode::Auto;
+  /// Serving engine the batch-serving oracles run against
+  /// (fuzz_router --router); stateless swaps in the per-node label
+  /// forwarder beyond what stateless_parity always cross-checks.
+  RouterKind routerKind = RouterKind::Centralized;
   ShrinkOptions shrink;
   bool verbose = false;  ///< Per-trial progress lines on stdout.
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <random>
 #include <sstream>
 
@@ -12,6 +13,9 @@
 #include "graph/shortest_path.hpp"
 #include "protocols/ldel_protocol.hpp"
 #include "protocols/reliable.hpp"
+#include "routing/hub_labels.hpp"
+#include "routing/node_labels.hpp"
+#include "routing/stateless_router.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/simulator.hpp"
 #include "testkit/rng.hpp"
@@ -201,6 +205,7 @@ void applyBug(InjectedBug bug, routing::OverlayRoute& fresh) {
       break;
     case InjectedBug::SwapDeliveryOrder:  // sim-only; handled by its oracle
     case InjectedBug::DropLabelHub:       // label-slab-only; handled by label_parity
+    case InjectedBug::WrongNextHop:       // node-label-only; handled by stateless_parity
     case InjectedBug::None:
       break;
   }
@@ -282,14 +287,25 @@ bool sameRoute(const routing::RouteResult& a, const routing::RouteResult& b) {
 OracleResult checkRouteBatchParity(const CaseContext& ctx) {
   if (ctx.pairs().empty()) return skipResult();
   const auto& net = ctx.net();
+  // --router stateless swaps the serving engine under the same parity
+  // check: the per-node label forwarder must also be bit-identical to its
+  // serial loop at any thread count.
+  std::unique_ptr<routing::StatelessRouter> stateless;
+  if (ctx.routerKind() == RouterKind::Stateless) {
+    stateless = std::make_unique<routing::StatelessRouter>(net.ldel(), 1);
+  }
+  const auto routeOne = [&](const routing::RoutePair& p) {
+    return stateless ? stateless->route(p.source, p.target) : net.route(p.source, p.target);
+  };
   std::vector<routing::RouteResult> serial;
   serial.reserve(ctx.pairs().size());
-  for (const auto& p : ctx.pairs()) serial.push_back(net.route(p.source, p.target));
+  for (const auto& p : ctx.pairs()) serial.push_back(routeOne(p));
 
   // The doubled and odd counts stress the chunk plan: uneven tails, more
   // chunks than queries, and the dynamic handout all get exercised.
   for (const int threads : {ctx.threads(), ctx.threads() * 2, ctx.threads() * 2 + 1}) {
-    const auto batch = net.routeBatch(ctx.pairs(), threads);
+    const auto batch = stateless ? stateless->routeBatch(ctx.pairs(), threads)
+                                 : net.routeBatch(ctx.pairs(), threads);
     if (batch.size() != serial.size()) {
       return failResult("routeBatch returned a different number of results");
     }
@@ -720,6 +736,123 @@ OracleResult checkLabelParity(const CaseContext& ctx) {
   return {};
 }
 
+// ---------------------------------------------------------------------------
+// stateless_parity
+// ---------------------------------------------------------------------------
+
+OracleResult checkStatelessParity(const CaseContext& ctx) {
+  if (ctx.pairs().empty()) return skipResult();
+  const auto& g = ctx.net().ldel();
+  const std::size_t n = g.numNodes();
+  if (n < 2 || n > 300) return skipResult();
+
+  const graph::CsrAdjacency csr = graph::buildCsr(g);
+  routing::HubLabelOracle oracle;
+  oracle.build(csr, static_cast<unsigned>(ctx.threads()));
+  routing::NodeLabels labels;
+  labels.build(oracle);
+
+  // The label derivation is a deterministic function of the (already
+  // thread-invariant) oracle slab: rebuilds at other thread counts must be
+  // identical objects.
+  for (const unsigned th : {1u, 5u}) {
+    routing::HubLabelOracle o2;
+    o2.build(csr, th);
+    routing::NodeLabels l2;
+    l2.build(o2);
+    if (!(l2 == labels)) {
+      std::ostringstream os;
+      os << "per-node labels built at " << th << " threads diverge";
+      return failResult(os.str());
+    }
+  }
+
+  // The planted wrong-next-hop defect corrupts the serving copy only; the
+  // hop walk below is the net that must catch it. Routing the corrupted
+  // node toward the corrupted hub is the query guaranteed to step on the
+  // defective entry (its meet hub is the hub itself), so that pair joins
+  // the sampled ones.
+  std::vector<routing::RoutePair> pairs(ctx.pairs().begin(), ctx.pairs().end());
+  if (ctx.bug() == InjectedBug::WrongNextHop) {
+    const auto hit = labels.corruptNextHopForTest(static_cast<int>(ctx.seed() % n));
+    if (hit.node >= 0) pairs.push_back({hit.node, hit.hub});
+  }
+  const routing::StatelessRouter router(std::move(labels));
+
+  // Hop walk vs the centralized label path: same delivery verdict, walked
+  // edges are real graph edges, and the walked length realizes the exact
+  // label distance. On hub-id ties the two may pick different shortest
+  // paths, so the comparison is by length, not node sequence.
+  std::vector<int> refPath;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const int s = pairs[i].source;
+    const int t = pairs[i].target;
+    const double want = oracle.distance(s, t);
+    refPath.clear();
+    const bool refOk = oracle.path(s, t, refPath);
+    const routing::RouteResult r = router.route(s, t);
+    std::ostringstream at;
+    at << "pair " << i << " (" << s << "->" << t << ")";
+    if (r.delivered != refOk) {
+      std::ostringstream os;
+      os << "stateless walk " << (r.delivered ? "delivered" : "failed") << " but the "
+         << "centralized label path " << (refOk ? "exists" : "does not") << " at "
+         << at.str();
+      return failResult(os.str());
+    }
+    if (!r.delivered) {
+      if (!std::isinf(want)) {
+        return failResult("walk failed on a label-connected pair at " + at.str());
+      }
+      continue;
+    }
+    if (r.path.front() != s || r.path.back() != t) {
+      return failResult("walked path endpoints wrong at " + at.str());
+    }
+    for (std::size_t k = 0; k + 1 < r.path.size(); ++k) {
+      const auto nbs = g.neighbors(r.path[k]);
+      if (std::find(nbs.begin(), nbs.end(), r.path[k + 1]) == nbs.end()) {
+        std::ostringstream os;
+        os << "walk uses a non-edge " << r.path[k] << "-" << r.path[k + 1] << " at "
+           << at.str();
+        return failResult(os.str());
+      }
+    }
+    const double walked = g.pathLength(r.path);
+    if (!closeEnough(walked, want, kDistEps)) {
+      std::ostringstream os;
+      os << "walked length diverges from the label distance at " << at.str()
+         << ": walk=" << walked << " labels=" << want;
+      return failResult(os.str());
+    }
+    const double refLen = g.pathLength(refPath);
+    if (!closeEnough(walked, refLen, kDistEps)) {
+      std::ostringstream os;
+      os << "walked length diverges from the centralized path at " << at.str()
+         << ": walk=" << walked << " central=" << refLen;
+      return failResult(os.str());
+    }
+  }
+
+  // Embarrassingly parallel serving: no shared mutable state means the
+  // batch must be bit-identical to the serial loop at any thread count.
+  std::vector<routing::RouteResult> serial;
+  serial.reserve(ctx.pairs().size());
+  for (const auto& p : ctx.pairs()) serial.push_back(router.route(p.source, p.target));
+  for (const int threads : {1, ctx.threads(), ctx.threads() * 2}) {
+    const auto batch = router.routeBatch(ctx.pairs(), threads);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      if (!sameRoute(batch[i], serial[i])) {
+        std::ostringstream os;
+        os << "stateless routeBatch(" << threads << " threads) diverges from serial at pair "
+           << i;
+        return failResult(os.str());
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* bugName(InjectedBug bug) {
@@ -728,6 +861,7 @@ const char* bugName(InjectedBug bug) {
     case InjectedBug::InflateOverlayDistance: return "inflate-overlay-distance";
     case InjectedBug::SwapDeliveryOrder: return "swap-delivery-order";
     case InjectedBug::DropLabelHub: return "drop-label-hub";
+    case InjectedBug::WrongNextHop: return "wrong-next-hop";
     case InjectedBug::None: break;
   }
   return "none";
@@ -736,19 +870,37 @@ const char* bugName(InjectedBug bug) {
 InjectedBug parseInjectedBug(std::string_view name) {
   for (const InjectedBug b :
        {InjectedBug::DropOverlayWaypoint, InjectedBug::InflateOverlayDistance,
-        InjectedBug::SwapDeliveryOrder, InjectedBug::DropLabelHub}) {
+        InjectedBug::SwapDeliveryOrder, InjectedBug::DropLabelHub,
+        InjectedBug::WrongNextHop}) {
     if (name == bugName(b)) return b;
   }
   return InjectedBug::None;
 }
 
+const char* routerKindName(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::Stateless:
+      return "stateless";
+    case RouterKind::Centralized:
+      break;
+  }
+  return "centralized";
+}
+
+std::optional<RouterKind> parseRouterKind(std::string_view name) {
+  if (name == "centralized") return RouterKind::Centralized;
+  if (name == "stateless") return RouterKind::Stateless;
+  return std::nullopt;
+}
+
 CaseContext::CaseContext(scenario::Scenario sc, std::uint64_t seed, int threads,
-                         InjectedBug bug, routing::TableMode table)
+                         InjectedBug bug, routing::TableMode table, RouterKind router)
     : sc_(std::move(sc)),
       seed_(seed),
       threads_(threads < 1 ? 1 : threads),
       bug_(bug),
       table_(table),
+      router_(router),
       net_(sc_.points, sc_.radius) {
   const int n = static_cast<int>(sc_.points.size());
   if (n < 2) return;
@@ -774,6 +926,7 @@ const std::vector<Oracle>& oracles() {
       {"arq_vs_faultfree", checkArqVsFaultFree},
       {"sim_delivery_parity", checkSimDeliveryParity},
       {"label_parity", checkLabelParity},
+      {"stateless_parity", checkStatelessParity},
   };
   return kOracles;
 }

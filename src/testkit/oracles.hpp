@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,11 +21,25 @@ enum class InjectedBug {
   InflateOverlayDistance,  ///< Overlay distances come back 1% long.
   SwapDeliveryOrder,       ///< Threaded sim delivery order off by one swap.
   DropLabelHub,            ///< Hub-label slab loses one non-self entry.
+  WrongNextHop,            ///< Per-node label forwards one entry to itself.
 };
 
 const char* bugName(InjectedBug bug);
 /// Parses bugName() spelling; InjectedBug::None for "none" or unknown.
 InjectedBug parseInjectedBug(std::string_view name);
+
+/// Which serving engine the batch-serving oracles exercise
+/// (fuzz_router --router): the centralized hybrid router, or the stateless
+/// per-node label forwarder. stateless_parity always cross-checks both.
+enum class RouterKind {
+  Centralized,
+  Stateless,
+};
+
+const char* routerKindName(RouterKind kind);
+/// Parses routerKindName() spelling ("centralized" | "stateless");
+/// nullopt for anything else.
+std::optional<RouterKind> parseRouterKind(std::string_view name);
 
 /// Verdict of one oracle on one case. `skipped` marks an oracle that chose
 /// not to run (e.g. the ARQ differential on oversized instances); skips are
@@ -46,10 +61,12 @@ class CaseContext {
   /// routeBatch/simulator parallel paths run at (their results must be
   /// thread-count-invariant — that invariance is itself under test).
   /// `table` selects the site-pair backend the router-building oracles
-  /// exercise, so the whole registry can run against hub labels.
+  /// exercise, so the whole registry can run against hub labels; `router`
+  /// selects the serving engine of the batch-serving oracles.
   CaseContext(scenario::Scenario sc, std::uint64_t seed, int threads = 2,
               InjectedBug bug = InjectedBug::None,
-              routing::TableMode table = routing::TableMode::Auto);
+              routing::TableMode table = routing::TableMode::Auto,
+              RouterKind router = RouterKind::Centralized);
   CaseContext(const CaseContext&) = delete;
   CaseContext& operator=(const CaseContext&) = delete;
 
@@ -60,6 +77,7 @@ class CaseContext {
   int threads() const { return threads_; }
   InjectedBug bug() const { return bug_; }
   routing::TableMode tableMode() const { return table_; }
+  RouterKind routerKind() const { return router_; }
 
  private:
   scenario::Scenario sc_;
@@ -67,6 +85,7 @@ class CaseContext {
   int threads_;
   InjectedBug bug_;
   routing::TableMode table_;
+  RouterKind router_ = RouterKind::Centralized;
   core::HybridNetwork net_;
   std::vector<routing::RoutePair> pairs_;
 };
@@ -100,6 +119,10 @@ struct Oracle {
 ///                       rebuilds at other thread counts, sampled site-pair
 ///                       distances/paths vs Dijkstra ground truth, and
 ///                       end-to-end query parity against the dense backend
+///  - stateless_parity:  per-node label hop walk vs the centralized label
+///                       path: same delivery verdict, real graph edges,
+///                       identical length; labels byte-identical across
+///                       thread counts; routeBatch bit-identical to serial
 const std::vector<Oracle>& oracles();
 
 /// nullptr when unknown.

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <vector>
+
+#include "delaunay/udg.hpp"
+#include "graph/csr.hpp"
+#include "protocols/label_distribution.hpp"
+#include "protocols/overlay_tree.hpp"
+#include "protocols/reliable.hpp"
+#include "routing/hub_labels.hpp"
+#include "routing/node_labels.hpp"
+#include "routing/stateless_router.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace hybrid {
+namespace {
+
+/// A circle of k nodes with unit-disk radius just above the chord length:
+/// the UDG is exactly the ring (connected, diameter k/2).
+graph::GeometricGraph circleRing(int k, double radiusScale = 1.05) {
+  std::vector<geom::Vec2> pts;
+  const double r = 10.0;
+  for (int i = 0; i < k; ++i) {
+    const double a = 2.0 * std::numbers::pi * i / k;
+    pts.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  const double chord = 2.0 * r * std::sin(std::numbers::pi / k);
+  return delaunay::buildUnitDiskGraph(pts, chord * radiusScale);
+}
+
+routing::NodeLabels buildLabels(const graph::GeometricGraph& g) {
+  routing::HubLabelOracle oracle;
+  oracle.build(graph::buildCsr(g), 2);
+  routing::NodeLabels labels;
+  labels.build(oracle);
+  return labels;
+}
+
+TEST(LabelDistribution, FaultFreeRunShipsEveryLabelByteIdentically) {
+  const auto g = circleRing(40);
+  const auto labels = buildLabels(g);
+  sim::Simulator s(g);
+  const auto tree = protocols::buildOverlayTree(s, 5);
+  ASSERT_TRUE(tree.isSingleTree());
+
+  std::vector<std::vector<routing::NodeLabels::Entry>> received;
+  const auto rep = protocols::distributeNodeLabels(s, tree, labels, &received);
+  EXPECT_TRUE(rep.complete);
+  EXPECT_GT(rep.rounds, 0);
+  ASSERT_EQ(received.size(), g.numNodes());
+
+  const auto shipped = routing::NodeLabels::fromEntries(received);
+  EXPECT_TRUE(shipped == labels);
+
+  // Budget: one convergecast message per non-root node up, one bundle per
+  // node crossing <= height tree links down — O(n log n) total, and each
+  // bundle carries exactly one node's O(polylog) label.
+  const auto n = static_cast<long>(g.numNodes());
+  EXPECT_LE(rep.messages, n + n * (tree.computedHeight() + 1));
+  EXPECT_LE(rep.maxBundleWords,
+            static_cast<long>(labels.maxLabelSize()) * 4 + 2);
+}
+
+TEST(LabelDistribution, LossyRunWithArqMatchesFaultFree) {
+  const auto g = circleRing(32);
+  const auto labels = buildLabels(g);
+
+  // The tree shape is decided once (fault-free preprocessing); the
+  // distribution itself then runs over a lossy long-range channel.
+  sim::Simulator clean(g);
+  const auto tree = protocols::buildOverlayTree(clean, 9);
+  ASSERT_TRUE(tree.isSingleTree());
+
+  std::vector<std::vector<routing::NodeLabels::Entry>> faultFree;
+  const auto repClean = protocols::distributeNodeLabels(clean, tree, labels, &faultFree);
+  ASSERT_TRUE(repClean.complete);
+
+  sim::FaultConfig cfg;
+  cfg.seed = 4242;
+  cfg.longRangeDrop = 0.25;
+  sim::Simulator lossy(g, sim::FaultPlan(cfg));
+  const protocols::RetryPolicy retry;
+  std::vector<std::vector<routing::NodeLabels::Entry>> viaArq;
+  const auto repLossy = protocols::distributeNodeLabels(lossy, tree, labels, &viaArq, &retry);
+  EXPECT_TRUE(repLossy.complete);
+  EXPECT_GT(lossy.totalDropped(), 0L);  // faults actually fired
+
+  // Determinism under loss: the ARQ transport hides every drop, so the
+  // shipped labels are byte-identical to the fault-free run's — and both
+  // equal the locally built slab.
+  EXPECT_EQ(viaArq, faultFree);
+  const auto shipped = routing::NodeLabels::fromEntries(viaArq);
+  EXPECT_TRUE(shipped == labels);
+
+  // A router serving from the shipped labels answers exactly like one
+  // serving from the local build.
+  const routing::StatelessRouter local{routing::NodeLabels(labels)};
+  const routing::StatelessRouter remote{routing::NodeLabels(shipped)};
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(g.numNodes()) - 1);
+  for (int q = 0; q < 40; ++q) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    const auto a = local.route(s, t);
+    const auto b = remote.route(s, t);
+    EXPECT_EQ(a.delivered, b.delivered) << s << "->" << t;
+    EXPECT_EQ(a.path, b.path) << s << "->" << t;
+  }
+}
+
+TEST(LabelDistribution, RepeatedRunsAreDeterministic) {
+  const auto g = circleRing(24);
+  const auto labels = buildLabels(g);
+  std::vector<std::vector<routing::NodeLabels::Entry>> r1;
+  std::vector<std::vector<routing::NodeLabels::Entry>> r2;
+  long msgs1 = 0;
+  long msgs2 = 0;
+  {
+    sim::Simulator s(g);
+    const auto tree = protocols::buildOverlayTree(s, 7);
+    msgs1 = protocols::distributeNodeLabels(s, tree, labels, &r1).messages;
+  }
+  {
+    sim::Simulator s(g);
+    const auto tree = protocols::buildOverlayTree(s, 7);
+    msgs2 = protocols::distributeNodeLabels(s, tree, labels, &r2).messages;
+  }
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(msgs1, msgs2);
+}
+
+}  // namespace
+}  // namespace hybrid

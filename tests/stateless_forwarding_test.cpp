@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/dijkstra_workspace.hpp"
+#include "graph/graph.hpp"
+#include "routing/hub_labels.hpp"
+#include "routing/node_labels.hpp"
+#include "routing/stateless_router.hpp"
+
+namespace hybrid::routing {
+namespace {
+
+/// Jittered w x h grid with 4-neighbor edges (same shape as hub_label_test:
+/// irregular weights, many equal-degree nodes).
+graph::CsrAdjacency makeGrid(int w, int h, unsigned seed,
+                             std::vector<geom::Vec2>* posOut = nullptr) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> jitter(-0.3, 0.3);
+  std::vector<geom::Vec2> pos;
+  pos.reserve(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      pos.push_back({x + jitter(rng), y + jitter(rng)});
+    }
+  }
+  std::vector<std::vector<int>> adj(pos.size());
+  const auto id = [&](int x, int y) { return y * w + x; };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        adj[static_cast<std::size_t>(id(x, y))].push_back(id(x + 1, y));
+        adj[static_cast<std::size_t>(id(x + 1, y))].push_back(id(x, y));
+      }
+      if (y + 1 < h) {
+        adj[static_cast<std::size_t>(id(x, y))].push_back(id(x, y + 1));
+        adj[static_cast<std::size_t>(id(x, y + 1))].push_back(id(x, y));
+      }
+    }
+  }
+  if (posOut) *posOut = pos;
+  return graph::buildCsr(adj, pos);
+}
+
+/// n nodes on a unit circle, consecutive edges only.
+graph::CsrAdjacency makeRing(int n) {
+  std::vector<geom::Vec2> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    pos.push_back({std::cos(a), std::sin(a)});
+  }
+  std::vector<std::vector<int>> adj(pos.size());
+  for (int i = 0; i < n; ++i) {
+    const int j = (i + 1) % n;
+    adj[static_cast<std::size_t>(i)].push_back(j);
+    adj[static_cast<std::size_t>(j)].push_back(i);
+  }
+  return graph::buildCsr(adj, pos);
+}
+
+/// Sum of CSR edge weights along `path`; -1 when a step is not an edge.
+double walkLength(const graph::CsrAdjacency& csr, const std::vector<graph::NodeId>& path) {
+  double len = 0.0;
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const auto nbs = csr.neighbors(path[k]);
+    const auto wts = csr.edgeWeights(path[k]);
+    double step = -1.0;
+    for (std::size_t e = 0; e < nbs.size(); ++e) {
+      if (nbs[e] == path[k + 1]) step = wts[e];
+    }
+    if (step < 0.0) return -1.0;
+    len += step;
+  }
+  return len;
+}
+
+TEST(StatelessForwarding, LabelsAreByteIdenticalAtAnyThreadCount) {
+  const auto csr = makeGrid(14, 13, 9);
+  HubLabelOracle oracle;
+  oracle.build(csr, 1);
+  NodeLabels ref;
+  ref.build(oracle);
+  ASSERT_TRUE(ref.built());
+  ASSERT_EQ(ref.numEntries(), oracle.numEntries());
+  for (const unsigned threads : {2u, 5u, 16u}) {
+    HubLabelOracle other;
+    other.build(csr, threads);
+    NodeLabels labels;
+    labels.build(other);
+    EXPECT_TRUE(labels == ref) << "threads=" << threads;
+  }
+}
+
+TEST(StatelessForwarding, HopWalkRealizesExactDistances) {
+  for (const bool ring : {false, true}) {
+    const auto csr = ring ? makeRing(301) : makeGrid(15, 14, 3);
+    const int n = static_cast<int>(csr.numNodes());
+    HubLabelOracle oracle;
+    oracle.build(csr, 3);
+    NodeLabels labels;
+    labels.build(oracle);
+    const StatelessRouter router{NodeLabels(labels)};
+
+    std::mt19937 rng(17);
+    std::uniform_int_distribution<int> pick(0, n - 1);
+    for (int a = 0; a < 60; ++a) {
+      const int s = pick(rng);
+      const int t = a == 0 ? s : pick(rng);
+      const double want = oracle.distance(s, t);
+      const RouteResult r = router.route(s, t);
+      ASSERT_TRUE(r.delivered) << "ring=" << ring << " " << s << "->" << t;
+      ASSERT_FALSE(r.path.empty());
+      EXPECT_EQ(r.path.front(), s);
+      EXPECT_EQ(r.path.back(), t);
+      const double len = walkLength(csr, r.path);
+      ASSERT_GE(len, 0.0) << "non-edge hop " << s << "->" << t;
+      EXPECT_NEAR(len, want, 1e-9 * std::max(1.0, want)) << s << "->" << t;
+    }
+  }
+}
+
+TEST(StatelessForwarding, PerNodeLabelsStaySublinear) {
+  // The whole point of forwarding from per-node state: each node carries a
+  // small label, not the O(n) row a dense table would need. Rings are
+  // polylog (hashed rank tie-break); grids pay their Theta(sqrt n)
+  // treewidth, so the honest grid bound is O(sqrt(n) log n).
+  for (const bool ring : {false, true}) {
+    const auto csr = ring ? makeRing(2048) : makeGrid(45, 45, 21);
+    const auto n = static_cast<double>(csr.numNodes());
+    HubLabelOracle oracle;
+    oracle.build(csr, 2);
+    NodeLabels labels;
+    labels.build(oracle);
+    const double avgEntries = static_cast<double>(labels.numEntries()) / n;
+    const double bound = ring ? 8.0 * std::log2(n) : 2.0 * std::sqrt(n) * std::log2(n);
+    EXPECT_LT(avgEntries, bound) << "ring=" << ring;
+    // 20 bytes/entry; per-node budget below the 8B*n of a dense row.
+    EXPECT_LT(labels.bytesPerNode(), 8.0 * n) << "ring=" << ring;
+    EXPECT_LT(labels.maxLabelSize(), csr.numNodes()) << "ring=" << ring;
+  }
+}
+
+TEST(StatelessForwarding, DisconnectedPairsFailClean) {
+  // Two triangles with no connecting edge: no common hub, so the very
+  // first nextHop query fails and the walk stops at the source.
+  const std::vector<geom::Vec2> pos = {{0, 0}, {1, 0}, {0, 1}, {10, 10}, {11, 10}, {10, 11}};
+  std::vector<std::vector<int>> adj(6);
+  const auto link = [&](int a, int b) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  };
+  link(0, 1);
+  link(1, 2);
+  link(2, 0);
+  link(3, 4);
+  link(4, 5);
+  link(5, 3);
+  HubLabelOracle oracle;
+  oracle.build(graph::buildCsr(adj, pos), 2);
+  NodeLabels labels;
+  labels.build(oracle);
+  const StatelessRouter router{std::move(labels)};
+  const RouteResult r = router.route(0, 4);
+  EXPECT_FALSE(r.delivered);
+  ASSERT_EQ(r.path.size(), 1u);
+  EXPECT_EQ(r.path.front(), 0);
+  EXPECT_TRUE(router.route(2, 1).delivered);  // within-component still exact
+}
+
+TEST(StatelessForwarding, RouteBatchMatchesSerialAtAnyThreadCount) {
+  const auto csr = makeGrid(12, 12, 31);
+  const int n = static_cast<int>(csr.numNodes());
+  HubLabelOracle oracle;
+  oracle.build(csr, 2);
+  NodeLabels labels;
+  labels.build(oracle);
+  const StatelessRouter router{std::move(labels)};
+
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  std::vector<RoutePair> pairs;
+  for (int i = 0; i < 200; ++i) pairs.push_back({pick(rng), pick(rng)});
+
+  std::vector<RouteResult> serial;
+  serial.reserve(pairs.size());
+  for (const RoutePair& p : pairs) serial.push_back(router.route(p.source, p.target));
+  for (const int threads : {1, 2, 5}) {
+    const auto batch = router.routeBatch(pairs, threads);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].delivered, serial[i].delivered) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(batch[i].path, serial[i].path) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(StatelessForwarding, CorruptNextHopFailsCleanNotForever) {
+  const auto csr = makeGrid(9, 9, 13);
+  const int n = static_cast<int>(csr.numNodes());
+  HubLabelOracle oracle;
+  oracle.build(csr, 2);
+  NodeLabels labels;
+  labels.build(oracle);
+  StatelessRouter router{std::move(labels)};
+  const auto hit = router.mutableLabelsForTest().corruptNextHopForTest(40);
+  ASSERT_GE(hit.node, 0);
+  ASSERT_NE(hit.node, hit.hub);
+  // Every query still terminates; anything delivered is still a real walk
+  // of the exact length (corruption may sit on an unused entry for most
+  // targets), anything else fails clean within the hop guard.
+  for (int t = 0; t < n; ++t) {
+    const RouteResult r = router.route(hit.node, t);
+    EXPECT_LE(r.path.size(), static_cast<std::size_t>(n) + 2);
+    if (!r.delivered) continue;
+    EXPECT_EQ(r.path.back(), t);
+    const double len = walkLength(csr, r.path);
+    ASSERT_GE(len, 0.0);
+    const double want = oracle.distance(hit.node, t);
+    EXPECT_NEAR(len, want, 1e-9 * std::max(1.0, want));
+  }
+}
+
+TEST(StatelessForwarding, FromEntriesRoundTripsTheSlab) {
+  const auto csr = makeGrid(8, 7, 2);
+  HubLabelOracle oracle;
+  oracle.build(csr, 2);
+  NodeLabels built;
+  built.build(oracle);
+  std::vector<std::vector<NodeLabels::Entry>> perNode;
+  perNode.reserve(built.numNodes());
+  for (std::size_t v = 0; v < built.numNodes(); ++v) {
+    perNode.push_back(built.entriesOf(static_cast<int>(v)));
+  }
+  const NodeLabels rebuilt = NodeLabels::fromEntries(perNode);
+  EXPECT_TRUE(rebuilt == built);
+  EXPECT_EQ(rebuilt.labelBytes(), built.labelBytes());
+  EXPECT_EQ(rebuilt.maxLabelSize(), built.maxLabelSize());
+}
+
+TEST(StatelessForwarding, GraphConstructorMatchesOraclePipeline) {
+  // The convenience ctor (UDG in, router out) must serve the same labels
+  // as the explicit oracle pipeline, at any build thread count.
+  std::vector<geom::Vec2> pos;
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<double> coord(0.0, 6.0);
+  for (int i = 0; i < 60; ++i) pos.push_back({coord(rng), coord(rng)});
+  graph::GeometricGraph g(pos);
+  for (std::size_t u = 0; u < pos.size(); ++u) {
+    for (std::size_t v = u + 1; v < pos.size(); ++v) {
+      if (geom::dist(pos[u], pos[v]) <= 1.4) {
+        g.addEdge(static_cast<graph::NodeId>(u), static_cast<graph::NodeId>(v));
+      }
+    }
+  }
+  const StatelessRouter a(g, 1);
+  const StatelessRouter b(g, 4);
+  EXPECT_TRUE(a.labels() == b.labels());
+  HubLabelOracle oracle;
+  oracle.build(graph::buildCsr(g), 2);
+  NodeLabels labels;
+  labels.build(oracle);
+  EXPECT_TRUE(labels == a.labels());
+}
+
+}  // namespace
+}  // namespace hybrid::routing

@@ -153,13 +153,13 @@ TEST(Testkit, ShrinkerFindsSmallFailingScenario) {
 }
 
 TEST(Testkit, OracleRegistryAndBugNamesRoundTrip) {
-  EXPECT_EQ(oracles().size(), 9u);
+  EXPECT_EQ(oracles().size(), 10u);
   for (const auto& o : oracles()) EXPECT_EQ(findOracle(o.name), &o);
   EXPECT_EQ(findOracle("nope"), nullptr);
   for (const InjectedBug b :
        {InjectedBug::None, InjectedBug::DropOverlayWaypoint,
         InjectedBug::InflateOverlayDistance, InjectedBug::SwapDeliveryOrder,
-        InjectedBug::DropLabelHub}) {
+        InjectedBug::DropLabelHub, InjectedBug::WrongNextHop}) {
     EXPECT_EQ(parseInjectedBug(bugName(b)), b);
   }
   EXPECT_EQ(parseInjectedBug("garbage"), InjectedBug::None);

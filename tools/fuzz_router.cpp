@@ -38,9 +38,11 @@ void usage() {
       "  --corpus DIR      shrink + record failing cases as JSON under DIR\n"
       "  --inject-bug B    plant a deliberate defect: drop-overlay-waypoint |\n"
       "                    inflate-overlay-distance | swap-delivery-order |\n"
-      "                    drop-label-hub (default none)\n"
+      "                    drop-label-hub | wrong-next-hop (default none)\n"
       "  --table-mode M    site-pair backend the oracles route through:\n"
       "                    dense | labels | auto (default auto)\n"
+      "  --router R        serving engine the batch-serving oracles exercise:\n"
+      "                    centralized | stateless (default centralized)\n"
       "  --shrink-min N    do not shrink below N nodes (default 8)\n"
       "  --replay FILE     replay one corpus case instead of fuzzing\n"
       "  --metrics FILE    enable observability and write an obs snapshot (JSON)\n"
@@ -104,6 +106,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.tableMode = *mode;
+    } else if (arg == "--router") {
+      const char* name = value();
+      const auto kind = hybrid::testkit::parseRouterKind(name);
+      if (!kind) {
+        std::fprintf(stderr, "fuzz_router: unknown router '%s'\n", name);
+        return 2;
+      }
+      opts.routerKind = *kind;
     } else if (arg == "--shrink-min") {
       opts.shrink.minNodes = static_cast<std::size_t>(std::atoi(value()));
     } else if (arg == "--replay") {
@@ -117,8 +127,9 @@ int main(int argc, char** argv) {
       for (const auto& o : hybrid::testkit::oracles()) std::printf("  %s\n", o.name);
       std::printf(
           "bugs:\n  drop-overlay-waypoint\n  inflate-overlay-distance\n"
-          "  swap-delivery-order\n  drop-label-hub\n");
+          "  swap-delivery-order\n  drop-label-hub\n  wrong-next-hop\n");
       std::printf("table modes:\n  dense\n  labels\n  auto\n");
+      std::printf("routers:\n  centralized\n  stateless\n");
       return 0;
     } else if (arg == "--verbose") {
       opts.verbose = true;
