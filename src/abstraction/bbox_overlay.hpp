@@ -1,0 +1,55 @@
+#pragma once
+
+#include <numbers>
+#include <vector>
+
+#include "abstraction/hole_abstraction.hpp"
+#include "geom/bbox.hpp"
+
+namespace hybrid::abstraction {
+
+/// Bounding-box hole abstraction (Castenow-Kolb-Scheideler,
+/// arXiv:1810.05453): every hole is abstracted by the axis-aligned
+/// bounding box of its boundary ring, intersecting boxes are merged to a
+/// fixpoint, and each member hole contributes O(1) overlay sites chosen by
+/// the corner/projection rule. Unlike the convex-hull abstraction of the
+/// source paper, the resulting boxes are pairwise disjoint by
+/// construction, so the overlay stays competitive even when hole hulls
+/// interlock (the `hull_intersect` family the hull router falls back on).
+
+/// Competitive-bound constants of the box overlay, scaled from the hull
+/// router's 17.7 (visibility) / 35.37 (overlay Delaunay): a box detour is
+/// at most its circumference L(box) = 2(w + h), and since the hull of the
+/// boxed hole satisfies P(hull) >= 2 sqrt(w^2 + h^2) >= sqrt(2) (w + h),
+/// L(box) <= sqrt(2) P(hull) — every hull-perimeter term in the stretch
+/// argument grows by at most sqrt(2). Validated empirically by the
+/// bbox_parity oracle and bench/e21 (observed stretch stays far below).
+inline constexpr double kBBoxVisibilityBound = 17.7 * std::numbers::sqrt2;
+inline constexpr double kBBoxDelaunayBound = 35.37 * std::numbers::sqrt2;
+
+/// The O(1) overlay sites one hole contributes to its (merged) box.
+struct BBoxHoleSites {
+  int abstraction = -1;  ///< Index into the abstraction list.
+  /// Selected ring nodes, deduped, in ring order: the nearest boundary
+  /// node to each box corner plus the boundary nodes realizing the four
+  /// axis extremes — at most 8 per hole (the corner/projection rule).
+  std::vector<graph::NodeId> sites;
+};
+
+/// One merged axis-aligned box covering one or more holes whose boxes
+/// transitively intersect.
+struct BBoxGroup {
+  geom::BBox box;            ///< Union box of the member holes.
+  std::vector<int> members;  ///< Abstraction indices merged into this box.
+  std::vector<BBoxHoleSites> holeSites;  ///< One entry per member.
+};
+
+/// Builds the bounding-box abstraction: one box per hole, merged to a
+/// fixpoint (union boxes can create new intersections), then the per-hole
+/// site selection. Deterministic: groups are ordered by their smallest
+/// member index, members and sites in ring order.
+std::vector<BBoxGroup> buildBBoxOverlay(const graph::GeometricGraph& ldel,
+                                        const holes::HoleAnalysis& analysis,
+                                        const std::vector<HoleAbstraction>& abstractions);
+
+}  // namespace hybrid::abstraction

@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <limits>
 
+#include "abstraction/bbox_overlay.hpp"
 #include "geom/segment.hpp"
 #include "graph/shortest_path.hpp"
+#include "obs/metrics.hpp"
 
 namespace hybrid::routing {
 
@@ -35,7 +37,36 @@ HybridRouter::HybridRouter(const graph::GeometricGraph& ldel,
       abstractions_(abstractions),
       chew_(ldel, sub),
       opt_(options) {
-  if (opt_.mergeIntersectingHulls && opt_.sites == SiteMode::HullNodes) {
+  // Resolve the abstraction mode: Auto keeps the paper's convex hulls
+  // while they are pairwise disjoint and switches to the bounding-box
+  // overlay (which merges boxes to disjointness) when hulls interlock —
+  // the scenarios the hull router can only serve via A* fallback.
+  bool wantBBox = opt_.abstraction == AbstractionMode::BBox;
+  if (opt_.abstraction == AbstractionMode::Auto && !wantBBox) {
+    const auto groups = abstraction::mergeIntersectingHulls(ldel, abstractions);
+    for (const auto& g : groups) {
+      if (g.members.size() > 1) {
+        wantBBox = true;
+        break;
+      }
+    }
+  }
+  if (wantBBox) {
+    usesBBox_ = true;
+    const auto groups = abstraction::buildBBoxOverlay(ldel, analysis, abstractions);
+    std::vector<std::vector<graph::NodeId>> siteRings;
+    for (const auto& grp : groups) {
+      for (const auto& hs : grp.holeSites) {
+        if (!hs.sites.empty()) siteRings.push_back(hs.sites);
+      }
+    }
+    // Bbox sites are a sparse subset of each hole ring; consecutive sites
+    // are reachable along the ring even when the straight chord crosses
+    // the hole, so the backbone is declared ring-walkable.
+    overlay_ = std::make_unique<OverlayGraph>(ldel, siteRings, analysis.holePolygons(),
+                                              opt_.edges, opt_.table,
+                                              /*ringBackbone=*/true);
+  } else if (opt_.mergeIntersectingHulls && opt_.sites == SiteMode::HullNodes) {
     const auto groups = abstraction::mergeIntersectingHulls(ldel, abstractions);
     std::vector<std::vector<graph::NodeId>> siteRings;
     siteRings.reserve(groups.size());
@@ -54,6 +85,9 @@ HybridRouter::HybridRouter(const graph::GeometricGraph& ldel,
     const auto& a = abstractions[ai];
     if (a.holeIndex >= 0) holeToAbstraction_[static_cast<std::size_t>(a.holeIndex)] =
         static_cast<int>(ai);
+    // Bbox mode routes purely outside (boxes have no bays); its sites are
+    // marked from the overlay below, so the ring walk targets bbox sites.
+    if (usesBBox_) continue;
     // Mark the abstraction nodes that double as overlay sites; the hole
     // node that intercepts a message walks the ring to the nearest one.
     const auto& siteRing = opt_.sites == SiteMode::LocallyConvexHull
@@ -71,6 +105,11 @@ HybridRouter::HybridRouter(const graph::GeometricGraph& ldel,
       bayPolys_[ai].emplace_back(std::move(poly));
     }
   }
+  if (usesBBox_) {
+    for (const graph::NodeId v : overlay_->sites()) {
+      isHullNode_[static_cast<std::size_t>(v)] = 1;
+    }
+  }
 }
 
 std::string HybridRouter::name() const {
@@ -79,7 +118,11 @@ std::string HybridRouter::name() const {
   if (opt_.sites == SiteMode::LocallyConvexHull) n = "lch";
   if (opt_.sites == SiteMode::SimplifiedBoundary) n = "dp";
   n += opt_.edges == EdgeMode::Delaunay ? "-delaunay" : "-visibility";
-  if (opt_.mergeIntersectingHulls) n += "+merged";
+  if (usesBBox_) {
+    n += "+bbox";
+  } else if (opt_.mergeIntersectingHulls) {
+    n += "+merged";
+  }
   return "hybrid-" + n;
 }
 
@@ -106,10 +149,34 @@ bool HybridRouter::chewOrFallback(std::vector<graph::NodeId>& path, graph::NodeI
   if (path.back() == target) return true;
   int blocked = -1;
   if (chew_.extend(path, target, &blocked)) return true;
+  if (usesBBox_) {
+    if (ringWalkBetween(path, target)) return true;
+    // Route-around-the-box: a blocked leg resumes after walking the
+    // blocking hole's ring toward the target (bounded retries — each
+    // rescue must change the frontier node, so the loop cannot cycle
+    // for long before falling through to A*).
+    for (int rescue = 0; rescue < 16 && blocked >= 0; ++rescue) {
+      if (!ringWalkTowards(path, blocked, target)) break;
+      blocked = -1;
+      if (chew_.extend(path, target, &blocked)) return true;
+      if (ringWalkBetween(path, target)) return true;
+    }
+  }
+  if (debugEnabled()) {
+    std::fprintf(stderr, "[fallback] leg %d -> %d blocked (hole %d)\n", path.back(),
+                 target, blocked);
+  }
   const auto sp = graph::astarPath(g_, path.back(), target);
   if (sp.empty()) return false;
   path.insert(path.end(), sp.begin() + 1, sp.end());
   ++(*fallbacks);
+  // Abstraction fallbacks (hull intersections, blocked Chew legs) are a
+  // different failure class than dense-table capacity refusals
+  // (overlay.table.fallbacks); count them separately so experiments can
+  // attribute protocol coverage correctly.
+  HYBRID_OBS_STMT(if (obs::enabled()) {
+    obs::Registry::global().counter("overlay.abstraction.fallbacks").add(1);
+  });
   return true;
 }
 
@@ -145,6 +212,77 @@ void HybridRouter::ringWalkToHullNode(std::vector<graph::NodeId>& path, int hole
     pick = &bwd;
   }
   if (pick != nullptr) path.insert(path.end(), pick->begin(), pick->end());
+}
+
+bool HybridRouter::ringWalkTowards(std::vector<graph::NodeId>& path, int holeIdx,
+                                   graph::NodeId target) const {
+  const auto& ring = analysis_.holes[static_cast<std::size_t>(holeIdx)].ring;
+  const graph::NodeId cur = path.back();
+  const int ci = indexIn(ring, cur);
+  if (ci < 0) return false;
+  const geom::Vec2 pt = g_.position(target);
+  int best = ci;
+  double bestD = geom::dist2(g_.position(cur), pt);
+  for (int i = 0; i < static_cast<int>(ring.size()); ++i) {
+    const double d = geom::dist2(g_.position(ring[static_cast<std::size_t>(i)]), pt);
+    if (d < bestD) {
+      bestD = d;
+      best = i;
+    }
+  }
+  if (best == ci) return false;
+  return ringWalkBetween(path, ring[static_cast<std::size_t>(best)]);
+}
+
+bool HybridRouter::ringWalkBetween(std::vector<graph::NodeId>& path,
+                                   graph::NodeId target) const {
+  const graph::NodeId cur = path.back();
+  const auto& holesOf = analysis_.holesOfNode;
+  if (static_cast<std::size_t>(cur) >= holesOf.size() ||
+      static_cast<std::size_t>(target) >= holesOf.size()) {
+    return false;
+  }
+  for (const int h : holesOf[static_cast<std::size_t>(cur)]) {
+    const auto& ring = analysis_.holes[static_cast<std::size_t>(h)].ring;
+    const int ci = indexIn(ring, cur);
+    const int ti = indexIn(ring, target);
+    if (ci < 0 || ti < 0) continue;
+    if (ci == ti) return true;
+    const int n = static_cast<int>(ring.size());
+    auto arcLength = [&](int from, int steps, int dir) {
+      double len = 0.0;
+      for (int s = 0; s < steps; ++s) {
+        const auto a = ring[static_cast<std::size_t>(((from + s * dir) % n + n) % n)];
+        const auto b = ring[static_cast<std::size_t>(((from + (s + 1) * dir) % n + n) % n)];
+        len += g_.edgeLength(a, b);
+      }
+      return len;
+    };
+    // An arc is committed only if every step really is a graph edge:
+    // outer-boundary rings are component orderings rather than strict edge
+    // walks (on degenerate collinear graphs consecutive entries need not
+    // be LDel edges), and rings of pinched faces can revisit nodes out of
+    // adjacency order. Try the shorter direction first.
+    auto tryArc = [&](int dir, int steps) {
+      std::vector<graph::NodeId> arc;
+      arc.reserve(static_cast<std::size_t>(steps));
+      graph::NodeId prev = cur;
+      for (int s = 1; s <= steps; ++s) {
+        const auto v = ring[static_cast<std::size_t>(((ci + s * dir) % n + n) % n)];
+        if (!g_.hasEdge(prev, v)) return false;
+        arc.push_back(v);
+        prev = v;
+      }
+      path.insert(path.end(), arc.begin(), arc.end());
+      return true;
+    };
+    const int fwdSteps = (ti - ci + n) % n;
+    const int bwdSteps = (ci - ti + n) % n;
+    const bool fwdFirst = arcLength(ci, fwdSteps, 1) <= arcLength(ci, bwdSteps, -1);
+    if (tryArc(fwdFirst ? 1 : -1, fwdFirst ? fwdSteps : bwdSteps)) return true;
+    if (tryArc(fwdFirst ? -1 : 1, fwdFirst ? bwdSteps : fwdSteps)) return true;
+  }
+  return false;
 }
 
 bool HybridRouter::routeViaOverlay(std::vector<graph::NodeId>& path, graph::NodeId target,
@@ -421,6 +559,9 @@ RouteResult HybridRouter::route(graph::NodeId source, graph::NodeId target) cons
     if (!sp.empty()) {
       r.path.insert(r.path.end(), sp.begin() + 1, sp.end());
       ++r.fallbacks;
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        obs::Registry::global().counter("overlay.abstraction.fallbacks").add(1);
+      });
     }
   }
   r.delivered = r.path.back() == target;

@@ -29,6 +29,11 @@ struct HybridOptions {
   /// Site-pair backend of the visibility overlay: dense h^2 table, hub
   /// labels, or size-based auto selection.
   TableMode table = TableMode::Auto;
+  /// Per-hole abstraction feeding the overlay: convex hulls (the source
+  /// paper, A* fallback on intersecting hulls), bounding boxes
+  /// (arXiv:1810.05453, competitive on interlocking holes), or Auto
+  /// (hulls when disjoint, bbox otherwise).
+  AbstractionMode abstraction = AbstractionMode::Hulls;
 };
 
 /// The paper's routing protocol: Chew-style corridor routing toward the
@@ -51,6 +56,9 @@ class HybridRouter : public Router {
   std::string name() const override;
 
   const OverlayGraph& overlay() const { return *overlay_; }
+  /// True when the overlay was built from bounding-box sites (explicit
+  /// BBox mode, or Auto that detected intersecting hulls).
+  bool usesBBox() const { return usesBBox_; }
   /// Dominating sets per bay, flattened in (abstraction, bay) order.
   const std::vector<std::vector<graph::NodeId>>& bayDominatingSets() const {
     return bayDS_;
@@ -78,6 +86,17 @@ class HybridRouter : public Router {
   bool escapeBay(std::vector<graph::NodeId>& path, const BayLocation& loc,
                  geom::Vec2 towards, int* fallbacks, int* bayExtremes) const;
   void ringWalkToHullNode(std::vector<graph::NodeId>& path, int holeIdx) const;
+  /// Bbox mode: when the current node and `target` lie on a common hole
+  /// ring, appends the Euclidean-shorter ring arc to `target` and returns
+  /// true. Covers overlay legs between consecutive box sites whose chord
+  /// crosses the hole (the box paper's perimeter routing).
+  bool ringWalkBetween(std::vector<graph::NodeId>& path, graph::NodeId target) const;
+  /// Bbox mode: the box paper's route-around-the-box step. When a Chew
+  /// leg is blocked by hole `holeIdx` (current node on its ring), walks
+  /// the ring to the boundary node nearest the target so the leg can
+  /// resume. False when the current node is off-ring or already nearest.
+  bool ringWalkTowards(std::vector<graph::NodeId>& path, int holeIdx,
+                       graph::NodeId target) const;
   void prunePath(std::vector<graph::NodeId>& path) const;
 
   const graph::GeometricGraph& g_;
@@ -92,6 +111,7 @@ class HybridRouter : public Router {
   std::vector<char> isHullNode_;
   /// Maps a hole index (analysis order) to its abstraction index.
   std::vector<int> holeToAbstraction_;
+  bool usesBBox_ = false;  ///< Overlay built from bounding-box sites.
 };
 
 }  // namespace hybrid::routing

@@ -74,6 +74,25 @@ std::optional<TableMode> parseTableMode(std::string_view name) {
   return std::nullopt;
 }
 
+const char* abstractionModeName(AbstractionMode mode) {
+  switch (mode) {
+    case AbstractionMode::Hulls:
+      return "hulls";
+    case AbstractionMode::BBox:
+      return "bbox";
+    case AbstractionMode::Auto:
+      break;
+  }
+  return "auto";
+}
+
+std::optional<AbstractionMode> parseAbstractionMode(std::string_view name) {
+  if (name == "hulls") return AbstractionMode::Hulls;
+  if (name == "bbox") return AbstractionMode::BBox;
+  if (name == "auto") return AbstractionMode::Auto;
+  return std::nullopt;
+}
+
 std::size_t OverlayGraph::denseCap() { return gDenseCap.load(std::memory_order_relaxed); }
 
 std::size_t OverlayGraph::autoLabelThreshold() {
@@ -152,9 +171,10 @@ OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
 OverlayGraph::OverlayGraph(const graph::GeometricGraph& ldel,
                            const std::vector<std::vector<graph::NodeId>>& siteRings,
                            std::vector<geom::Polygon> obstacles, EdgeMode edgeMode,
-                           TableMode table)
+                           TableMode table, bool ringBackbone)
     : vis_(std::move(obstacles)), edgeMode_(edgeMode), tableMode_(table) {
   obs::ScopedSpan buildSpan("overlay.build");
+  ringBackbone_ = ringBackbone;
   std::map<graph::NodeId, int> local;
   for (const auto& ring : siteRings) {
     for (graph::NodeId v : ring) {
@@ -181,6 +201,18 @@ void OverlayGraph::buildSiteEdges() {
     siteAdj_ = geom::buildVisibilityAdjacency(sitePos_, vis_);
     for (const auto& a : siteAdj_) precomputedEdges_ += a.size();
     precomputedEdges_ /= 2;
+    if (ringBackbone_) {
+      // Ring-arc backbones (bbox sites): the chord between consecutive
+      // sites may cross the hole, so visibility missed it; the router
+      // walks the ring for such legs, keeping the edge routable.
+      for (const auto& [u, v] : backboneEdges_) {
+        auto& au = siteAdj_[static_cast<std::size_t>(u)];
+        if (std::find(au.begin(), au.end(), v) != au.end()) continue;
+        au.push_back(v);
+        siteAdj_[static_cast<std::size_t>(v)].push_back(u);
+        ++precomputedEdges_;
+      }
+    }
   } else {
     // Delaunay of the sites; keep only hole-free edges, plus the backbone.
     if (sitePos_.size() >= 3) {
@@ -240,7 +272,9 @@ void OverlayGraph::buildSitePairTable() {
       std::fprintf(stderr,
                    "[overlay] dense site table refused: %zu sites exceed the cap of %zu; "
                    "serving falls back to per-query rebuild (TableMode::HubLabels or "
-                   "Auto lifts the ceiling)\n",
+                   "Auto lifts the ceiling). This is a table-capacity fallback "
+                   "(overlay.table.fallbacks), distinct from the router's "
+                   "hull-intersection A* splices (overlay.abstraction.fallbacks)\n",
                    h, denseCap());
     });
     return;

@@ -45,6 +45,21 @@ const char* tableModeName(TableMode mode);
 /// nullopt for anything else.
 std::optional<TableMode> parseTableMode(std::string_view name);
 
+/// Which per-hole abstraction feeds the overlay.
+enum class AbstractionMode {
+  Hulls,  ///< Convex hulls (the source paper); competitive only when the
+          ///< hulls are pairwise disjoint, A* fallback otherwise.
+  BBox,   ///< Axis-aligned bounding boxes merged to disjointness
+          ///< (Castenow-Kolb-Scheideler, arXiv:1810.05453): O(1) sites per
+          ///< hole, stays competitive when hulls interlock.
+  Auto,   ///< Hulls when all hulls are disjoint, BBox otherwise.
+};
+
+const char* abstractionModeName(AbstractionMode mode);
+/// Parses abstractionModeName() spelling ("hulls" | "bbox" | "auto");
+/// nullopt for anything else.
+std::optional<AbstractionMode> parseAbstractionMode(std::string_view name);
+
 /// Combined answer of one overlay query: the waypoints *and* the overlay
 /// path length from a single solve. Callers that reuse the struct keep the
 /// waypoint vector's capacity across queries.
@@ -108,14 +123,19 @@ class OverlayGraph {
                const std::vector<abstraction::HoleAbstraction>& abstractions,
                SiteMode siteMode, EdgeMode edgeMode, TableMode table = TableMode::Auto);
 
-  /// Custom-site overlay (used by the intersecting-hulls extension):
+  /// Custom-site overlay (used by the intersecting-hulls extensions):
   /// `siteRings` lists the abstraction node rings (e.g. merged hull
-  /// corners, ccw); consecutive ring members form the backbone. Visibility
-  /// is still evaluated against the radio-hole polygons.
+  /// corners or bounding-box sites, ccw); consecutive ring members form
+  /// the backbone. Visibility is still evaluated against the radio-hole
+  /// polygons. `ringBackbone` declares the rings to be sparse subsets of
+  /// the hole boundary connected by ring arcs (bbox sites): backbone
+  /// edges are then force-included in the site graph even when the
+  /// straight chord crosses the hole, because the router walks the hole
+  /// ring between consecutive sites instead of routing the chord.
   OverlayGraph(const graph::GeometricGraph& ldel,
                const std::vector<std::vector<graph::NodeId>>& siteRings,
                std::vector<geom::Polygon> obstacles, EdgeMode edgeMode,
-               TableMode table = TableMode::Auto);
+               TableMode table = TableMode::Auto, bool ringBackbone = false);
 
   /// One combined solve into caller-owned scratch + result storage: the
   /// allocation-free hot path of the serving engine. `out.waypoints` is
@@ -206,6 +226,9 @@ class OverlayGraph {
   /// tolerance allows chords across convex bumps), so they are
   /// visibility-filtered; hull/lch/ring backbones never cross their hole.
   bool filterBackbone_ = false;
+  /// Backbone edges are ring arcs of a sparse site subset (bbox mode):
+  /// include them in the site graph even when the chord is hole-blocked.
+  bool ringBackbone_ = false;
   std::size_t precomputedEdges_ = 0;
 
   // Serving engine state (visibility mode).

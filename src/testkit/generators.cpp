@@ -171,14 +171,78 @@ Scenario genHullIntersect(std::uint64_t seed) {
   return makeScenario(p);
 }
 
+Scenario genHullChain(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  ScenarioParams p = baseParams(rng, 17.0);
+  // A comb with a hanging block inside every gap: each block's hole hull
+  // lies inside the comb hole's hull, so hull_groups merges the whole
+  // chain into one group snaking across the field — k interlocked holes
+  // rather than hull_intersect's single pair.
+  const int teeth = uniformInt(rng, 3, 4);
+  const double toothWidth = uniform(rng, 1.0, 1.4);
+  const double gapWidth = uniform(rng, 2.8, 3.4);
+  const double depth = uniform(rng, 3.5, 5.0);
+  const double bar = uniform(rng, 0.8, 1.2);
+  const geom::Vec2 o{uniform(rng, 1.5, 2.5), uniform(rng, 2.5, 3.5)};
+  p.obstacles.push_back(scenario::combObstacle(o, teeth, toothWidth, gapWidth, depth, bar));
+  for (int g = 0; g + 1 < teeth; ++g) {
+    // Gap g spans x in [o.x + toothWidth*(g+1) + gapWidth*g, +gapWidth].
+    const double gx = o.x + toothWidth * (g + 1) + gapWidth * g;
+    const double clearance = std::max(0.6, uniform(rng, 1.0, 1.3));
+    const double bx0 = gx + clearance;
+    const double bx1 = gx + gapWidth - clearance;
+    if (bx1 - bx0 < 0.4) continue;
+    const double by0 = o.y + bar + uniform(rng, 1.2, 2.0);
+    const double by1 = o.y + bar + depth + uniform(rng, 0.5, 1.5);
+    p.obstacles.push_back(scenario::rectangleObstacle({bx0, by0}, {bx1, by1}));
+  }
+  return makeScenario(p);
+}
+
+Scenario genHullNest(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  ScenarioParams p = baseParams(rng, 15.0);
+  // An obstacle nested in the bay of a larger U: the inner hole's hull is
+  // entirely inside the outer hole's hull (full nesting, not just the
+  // partial overlap of hull_intersect), and the nested obstacle sits deep
+  // enough that bay routing around it has to cross the outer hull.
+  const geom::Vec2 c{p.width / 2.0, p.height / 2.0};
+  const double w = uniform(rng, 7.0, 9.0);
+  const double h = uniform(rng, 6.0, 7.5);
+  const double t = uniform(rng, 1.0, 1.4);
+  p.obstacles.push_back(scenario::uShapeObstacle(c, w, h, t));
+  // Mouth interior: x in [c.x - w/2 + t, c.x + w/2 - t], y above the floor
+  // at c.y - h/2 + t. Keep >= ~2 node spacings of clearance to the walls
+  // so the nested hole stays distinct from the U's hole.
+  const double innerHalf = w / 2.0 - t;
+  const double clear = uniform(rng, 1.2, 1.6);
+  if (uniformInt(rng, 0, 1) == 0) {
+    const double bw = std::max(0.8, innerHalf - clear);
+    p.obstacles.push_back(scenario::rectangleObstacle(
+        {c.x - bw, c.y - h / 2.0 + t + clear},
+        {c.x + bw, c.y - h / 2.0 + t + clear + uniform(rng, 1.2, 2.2)}));
+  } else {
+    // Nested same-orientation U: a bay within a bay.
+    const double iw = std::max(2.2, 2.0 * (innerHalf - clear));
+    const double ih = uniform(rng, 2.2, 3.0);
+    const double it = uniform(rng, 0.7, 0.9);
+    p.obstacles.push_back(scenario::uShapeObstacle(
+        {c.x, c.y - h / 2.0 + t + clear + ih / 2.0}, iw, ih, it));
+  }
+  return makeScenario(p);
+}
+
 }  // namespace
 
 const std::vector<Generator>& generators() {
+  // Appended entries keep the historical trial -> generator round-robin
+  // mapping of the first seven (makeCase indexes this list).
   static const std::vector<Generator> kGenerators = {
       {"random_udg", genRandomUdg},       {"maze_comb", genMazeComb},
       {"spiral", genSpiral},              {"collinear", genCollinear},
       {"cocircular", genCocircular},      {"hull_tangent", genHullTangent},
-      {"hull_intersect", genHullIntersect},
+      {"hull_intersect", genHullIntersect}, {"hull_chain", genHullChain},
+      {"hull_nest", genHullNest},
   };
   return kGenerators;
 }

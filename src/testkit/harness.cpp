@@ -80,7 +80,7 @@ FuzzSummary runFuzz(const FuzzOptions& opts) {
     int failedOracle = -1;
     try {
       const CaseContext ctx(gc.scenario, caseSeed, opts.threads, opts.bug, opts.tableMode,
-                            opts.routerKind);
+                            opts.routerKind, opts.abstractionMode);
       const CaseVerdict v = runOracles(ctx, &summary.perOracle);
       failedOracle = v.failedOracle;
       if (failedOracle >= 0) {
@@ -107,7 +107,7 @@ FuzzSummary runFuzz(const FuzzOptions& opts) {
       if (failure.oracle == "construction") {
         try {
           CaseContext probe(candidate, caseSeed, opts.threads, opts.bug, opts.tableMode,
-                            opts.routerKind);
+                            opts.routerKind, opts.abstractionMode);
           (void)probe;
           return false;
         } catch (...) {
@@ -115,7 +115,7 @@ FuzzSummary runFuzz(const FuzzOptions& opts) {
         }
       }
       const CaseContext probe(candidate, caseSeed, opts.threads, opts.bug, opts.tableMode,
-                              opts.routerKind);
+                              opts.routerKind, opts.abstractionMode);
       const OracleResult r = reg[static_cast<std::size_t>(failedOracle)].check(probe);
       return !r.ok && !r.skipped;
     };

@@ -32,6 +32,10 @@ struct FuzzOptions {
   /// (fuzz_router --router); stateless swaps in the per-node label
   /// forwarder beyond what stateless_parity always cross-checks.
   RouterKind routerKind = RouterKind::Centralized;
+  /// Per-hole abstraction the router-building oracles run against
+  /// (fuzz_router --abstraction); bbox runs the whole registry on the
+  /// bounding-box overlay beyond what bbox_parity always forces.
+  routing::AbstractionMode abstractionMode = routing::AbstractionMode::Hulls;
   ShrinkOptions shrink;
   bool verbose = false;  ///< Per-trial progress lines on stdout.
 };

@@ -6,6 +6,7 @@
 #include <random>
 #include <sstream>
 
+#include "abstraction/bbox_overlay.hpp"
 #include "abstraction/hull_groups.hpp"
 #include "delaunay/triangulation.hpp"
 #include "graph/csr.hpp"
@@ -206,6 +207,7 @@ void applyBug(InjectedBug bug, routing::OverlayRoute& fresh) {
     case InjectedBug::SwapDeliveryOrder:  // sim-only; handled by its oracle
     case InjectedBug::DropLabelHub:       // label-slab-only; handled by label_parity
     case InjectedBug::WrongNextHop:       // node-label-only; handled by stateless_parity
+    case InjectedBug::DropBBoxCorner:     // bbox-site-only; handled by bbox_parity
     case InjectedBug::None:
       break;
   }
@@ -224,6 +226,7 @@ OracleResult checkOverlayParity(const CaseContext& ctx) {
        {routing::EdgeMode::Visibility, routing::EdgeMode::Delaunay}) {
     routing::HybridOptions opts{routing::SiteMode::HullNodes, em, true};
     opts.table = ctx.tableMode();
+    opts.abstraction = ctx.abstractionMode();
     const auto router = net.makeRouter(opts);
     const routing::OverlayGraph& overlay = router->overlay();
     if (overlay.sites().empty()) continue;  // hole-free instance: nothing to differ
@@ -853,6 +856,160 @@ OracleResult checkStatelessParity(const CaseContext& ctx) {
   return {};
 }
 
+// ---------------------------------------------------------------------------
+// bbox_parity
+// ---------------------------------------------------------------------------
+
+OracleResult checkBBoxParity(const CaseContext& ctx) {
+  if (ctx.pairs().empty()) return skipResult();
+  const auto& net = ctx.net();
+
+  // Local recomputation of the abstraction; the planted drop-bbox-corner
+  // defect corrupts this copy, so the site-set equality against the
+  // integrated overlay below is the net that must catch it.
+  auto groups =
+      abstraction::buildBBoxOverlay(net.ldel(), net.holes(), net.abstractions());
+  if (ctx.bug() == InjectedBug::DropBBoxCorner) {
+    for (auto git = groups.rbegin(); git != groups.rend(); ++git) {
+      auto hit = std::find_if(git->holeSites.rbegin(), git->holeSites.rend(),
+                              [](const auto& hs) { return !hs.sites.empty(); });
+      if (hit != git->holeSites.rend()) {
+        hit->sites.pop_back();
+        break;
+      }
+    }
+  }
+
+  // Structural invariants: merged boxes are pairwise disjoint and cover
+  // their member holes; each hole contributes at most 8 of its ring nodes.
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const auto& g = groups[i];
+    for (std::size_t j = i + 1; j < groups.size(); ++j) {
+      if (g.box.intersects(groups[j].box)) {
+        std::ostringstream os;
+        os << "merged boxes " << i << " and " << j << " intersect";
+        return failResult(os.str());
+      }
+    }
+    if (g.holeSites.size() != g.members.size()) {
+      return failResult("box group hole-site list does not match its members");
+    }
+    for (const auto& hs : g.holeSites) {
+      const auto& a = net.abstractions()[static_cast<std::size_t>(hs.abstraction)];
+      const auto& ring = net.holes().holes[static_cast<std::size_t>(a.holeIndex)].ring;
+      if (hs.sites.size() > 8) {
+        std::ostringstream os;
+        os << "hole " << a.holeIndex << " contributes " << hs.sites.size()
+           << " sites (corner/projection rule allows at most 8)";
+        return failResult(os.str());
+      }
+      for (const graph::NodeId v : hs.sites) {
+        if (std::find(ring.begin(), ring.end(), v) == ring.end()) {
+          std::ostringstream os;
+          os << "bbox site " << v << " is not on the ring of hole " << a.holeIndex;
+          return failResult(os.str());
+        }
+      }
+      for (const graph::NodeId v : ring) {
+        if (!g.box.contains(net.ldel().position(v))) {
+          std::ostringstream os;
+          os << "merged box " << i << " does not cover ring node " << v << " of hole "
+             << a.holeIndex;
+          return failResult(os.str());
+        }
+      }
+    }
+  }
+  std::vector<graph::NodeId> localSites;
+  for (const auto& g : groups) {
+    for (const auto& hs : g.holeSites) {
+      localSites.insert(localSites.end(), hs.sites.begin(), hs.sites.end());
+    }
+  }
+  std::sort(localSites.begin(), localSites.end());
+  localSites.erase(std::unique(localSites.begin(), localSites.end()), localSites.end());
+
+  for (const routing::EdgeMode em :
+       {routing::EdgeMode::Visibility, routing::EdgeMode::Delaunay}) {
+    const char* label = em == routing::EdgeMode::Visibility ? "visibility" : "delaunay";
+    routing::HybridOptions opts{routing::SiteMode::HullNodes, em, true};
+    opts.table = ctx.tableMode();
+    opts.abstraction = routing::AbstractionMode::BBox;
+    const auto router = net.makeRouter(opts);
+    if (!router->usesBBox()) {
+      return failResult("bbox abstraction requested but not engaged");
+    }
+    std::vector<graph::NodeId> overlaySites = router->overlay().sites();
+    std::sort(overlaySites.begin(), overlaySites.end());
+    if (overlaySites != localSites) {
+      std::ostringstream os;
+      os << label << " overlay site set (" << overlaySites.size()
+         << ") diverges from the recomputed bbox abstraction (" << localSites.size()
+         << ")";
+      return failResult(os.str());
+    }
+    if (overlaySites.empty()) continue;  // hole-free: nothing to route around
+
+    // Route validity + the scaled competitive bound. Unlike the hull
+    // router (competitive_bound skips non-disjoint cases), the box bound
+    // is checked on every instance — lifting that restriction is the
+    // point of the abstraction; fallbacks still flag protocol gaps.
+    const double bound = em == routing::EdgeMode::Visibility
+                             ? abstraction::kBBoxVisibilityBound
+                             : abstraction::kBBoxDelaunayBound;
+    std::vector<routing::RouteResult> serial;
+    serial.reserve(ctx.pairs().size());
+    for (std::size_t i = 0; i < ctx.pairs().size(); ++i) {
+      const auto [s, t] = ctx.pairs()[i];
+      const auto r = router->route(s, t);
+      std::ostringstream at;
+      at << label << " pair " << i << " (" << s << "->" << t << ")";
+      if (!r.delivered) {
+        return failResult("bbox route not delivered at " + at.str());
+      }
+      if (r.path.front() != s || r.path.back() != t) {
+        return failResult("bbox route endpoints wrong at " + at.str());
+      }
+      for (std::size_t k = 0; k + 1 < r.path.size(); ++k) {
+        if (!net.ldel().hasEdge(r.path[k], r.path[k + 1])) {
+          std::ostringstream os;
+          os << "bbox route uses a non-edge " << r.path[k] << "-" << r.path[k + 1]
+             << " at " << at.str();
+          return failResult(os.str());
+        }
+      }
+      if (r.fallbacks == 0) {
+        const double stretch = net.stretch(r, s, t);
+        if (stretch > bound + kEps) {
+          std::ostringstream os;
+          os << "bbox competitive bound violated at " << at.str()
+             << ": stretch=" << stretch << " bound=" << bound;
+          return failResult(os.str());
+        }
+      }
+      serial.push_back(r);
+    }
+
+    // routeBatch bit-identity, serial vs threaded, in bbox mode.
+    for (const int threads : {ctx.threads(), ctx.threads() * 2}) {
+      const auto batch = router->routeBatch(ctx.pairs(), threads);
+      if (batch.size() != serial.size()) {
+        return failResult("bbox routeBatch returned a different number of results");
+      }
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (!sameRoute(batch[i], serial[i])) {
+          std::ostringstream os;
+          os << "bbox routeBatch(" << threads << " threads, " << label
+             << ") diverges from serial at pair " << i << " ("
+             << ctx.pairs()[i].source << "->" << ctx.pairs()[i].target << ")";
+          return failResult(os.str());
+        }
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* bugName(InjectedBug bug) {
@@ -862,6 +1019,7 @@ const char* bugName(InjectedBug bug) {
     case InjectedBug::SwapDeliveryOrder: return "swap-delivery-order";
     case InjectedBug::DropLabelHub: return "drop-label-hub";
     case InjectedBug::WrongNextHop: return "wrong-next-hop";
+    case InjectedBug::DropBBoxCorner: return "drop-bbox-corner";
     case InjectedBug::None: break;
   }
   return "none";
@@ -871,7 +1029,7 @@ InjectedBug parseInjectedBug(std::string_view name) {
   for (const InjectedBug b :
        {InjectedBug::DropOverlayWaypoint, InjectedBug::InflateOverlayDistance,
         InjectedBug::SwapDeliveryOrder, InjectedBug::DropLabelHub,
-        InjectedBug::WrongNextHop}) {
+        InjectedBug::WrongNextHop, InjectedBug::DropBBoxCorner}) {
     if (name == bugName(b)) return b;
   }
   return InjectedBug::None;
@@ -894,13 +1052,15 @@ std::optional<RouterKind> parseRouterKind(std::string_view name) {
 }
 
 CaseContext::CaseContext(scenario::Scenario sc, std::uint64_t seed, int threads,
-                         InjectedBug bug, routing::TableMode table, RouterKind router)
+                         InjectedBug bug, routing::TableMode table, RouterKind router,
+                         routing::AbstractionMode abstraction)
     : sc_(std::move(sc)),
       seed_(seed),
       threads_(threads < 1 ? 1 : threads),
       bug_(bug),
       table_(table),
       router_(router),
+      abstraction_(abstraction),
       net_(sc_.points, sc_.radius) {
   const int n = static_cast<int>(sc_.points.size());
   if (n < 2) return;
@@ -927,6 +1087,7 @@ const std::vector<Oracle>& oracles() {
       {"sim_delivery_parity", checkSimDeliveryParity},
       {"label_parity", checkLabelParity},
       {"stateless_parity", checkStatelessParity},
+      {"bbox_parity", checkBBoxParity},
   };
   return kOracles;
 }

@@ -22,6 +22,7 @@ enum class InjectedBug {
   SwapDeliveryOrder,       ///< Threaded sim delivery order off by one swap.
   DropLabelHub,            ///< Hub-label slab loses one non-self entry.
   WrongNextHop,            ///< Per-node label forwards one entry to itself.
+  DropBBoxCorner,          ///< Bbox site selection loses one corner site.
 };
 
 const char* bugName(InjectedBug bug);
@@ -62,11 +63,14 @@ class CaseContext {
   /// thread-count-invariant — that invariance is itself under test).
   /// `table` selects the site-pair backend the router-building oracles
   /// exercise, so the whole registry can run against hub labels; `router`
-  /// selects the serving engine of the batch-serving oracles.
+  /// selects the serving engine of the batch-serving oracles;
+  /// `abstraction` selects the per-hole abstraction those oracles build
+  /// routers with (bbox_parity always forces BBox regardless).
   CaseContext(scenario::Scenario sc, std::uint64_t seed, int threads = 2,
               InjectedBug bug = InjectedBug::None,
               routing::TableMode table = routing::TableMode::Auto,
-              RouterKind router = RouterKind::Centralized);
+              RouterKind router = RouterKind::Centralized,
+              routing::AbstractionMode abstraction = routing::AbstractionMode::Hulls);
   CaseContext(const CaseContext&) = delete;
   CaseContext& operator=(const CaseContext&) = delete;
 
@@ -78,6 +82,7 @@ class CaseContext {
   InjectedBug bug() const { return bug_; }
   routing::TableMode tableMode() const { return table_; }
   RouterKind routerKind() const { return router_; }
+  routing::AbstractionMode abstractionMode() const { return abstraction_; }
 
  private:
   scenario::Scenario sc_;
@@ -86,6 +91,7 @@ class CaseContext {
   InjectedBug bug_;
   routing::TableMode table_;
   RouterKind router_ = RouterKind::Centralized;
+  routing::AbstractionMode abstraction_ = routing::AbstractionMode::Hulls;
   core::HybridNetwork net_;
   std::vector<routing::RoutePair> pairs_;
 };
@@ -123,6 +129,12 @@ struct Oracle {
 ///                       path: same delivery verdict, real graph edges,
 ///                       identical length; labels byte-identical across
 ///                       thread counts; routeBatch bit-identical to serial
+///  - bbox_parity:       bounding-box abstraction invariants (disjoint
+///                       merged boxes, <= 8 ring sites per hole) and
+///                       BBox-mode routing: valid obstacle-avoiding routes,
+///                       the scaled competitive bound on intersecting-hull
+///                       cases competitive_bound skips, and routeBatch
+///                       bit-identical serial vs threaded
 const std::vector<Oracle>& oracles();
 
 /// nullptr when unknown.

@@ -153,13 +153,14 @@ TEST(Testkit, ShrinkerFindsSmallFailingScenario) {
 }
 
 TEST(Testkit, OracleRegistryAndBugNamesRoundTrip) {
-  EXPECT_EQ(oracles().size(), 10u);
+  EXPECT_EQ(oracles().size(), 11u);
   for (const auto& o : oracles()) EXPECT_EQ(findOracle(o.name), &o);
   EXPECT_EQ(findOracle("nope"), nullptr);
   for (const InjectedBug b :
        {InjectedBug::None, InjectedBug::DropOverlayWaypoint,
         InjectedBug::InflateOverlayDistance, InjectedBug::SwapDeliveryOrder,
-        InjectedBug::DropLabelHub, InjectedBug::WrongNextHop}) {
+        InjectedBug::DropLabelHub, InjectedBug::WrongNextHop,
+        InjectedBug::DropBBoxCorner}) {
     EXPECT_EQ(parseInjectedBug(bugName(b)), b);
   }
   EXPECT_EQ(parseInjectedBug("garbage"), InjectedBug::None);
@@ -168,7 +169,7 @@ TEST(Testkit, OracleRegistryAndBugNamesRoundTrip) {
 TEST(Testkit, CleanCasesPassAllOraclesAndSummaryIsThreadInvariant) {
   FuzzOptions opts;
   opts.seed = 3;
-  opts.trials = 7;  // one case per generator
+  opts.trials = 9;  // one case per generator
   opts.threads = 1;
   const auto s1 = runFuzz(opts);
   EXPECT_TRUE(s1.allPassed()) << s1.report();

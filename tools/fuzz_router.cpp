@@ -38,11 +38,14 @@ void usage() {
       "  --corpus DIR      shrink + record failing cases as JSON under DIR\n"
       "  --inject-bug B    plant a deliberate defect: drop-overlay-waypoint |\n"
       "                    inflate-overlay-distance | swap-delivery-order |\n"
-      "                    drop-label-hub | wrong-next-hop (default none)\n"
+      "                    drop-label-hub | wrong-next-hop | drop-bbox-corner\n"
+      "                    (default none)\n"
       "  --table-mode M    site-pair backend the oracles route through:\n"
       "                    dense | labels | auto (default auto)\n"
       "  --router R        serving engine the batch-serving oracles exercise:\n"
       "                    centralized | stateless (default centralized)\n"
+      "  --abstraction A   per-hole abstraction the oracles route through:\n"
+      "                    hulls | bbox | auto (default hulls)\n"
       "  --shrink-min N    do not shrink below N nodes (default 8)\n"
       "  --replay FILE     replay one corpus case instead of fuzzing\n"
       "  --metrics FILE    enable observability and write an obs snapshot (JSON)\n"
@@ -114,6 +117,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.routerKind = *kind;
+    } else if (arg == "--abstraction") {
+      const char* name = value();
+      const auto mode = hybrid::routing::parseAbstractionMode(name);
+      if (!mode) {
+        std::fprintf(stderr, "fuzz_router: unknown abstraction '%s'\n", name);
+        return 2;
+      }
+      opts.abstractionMode = *mode;
     } else if (arg == "--shrink-min") {
       opts.shrink.minNodes = static_cast<std::size_t>(std::atoi(value()));
     } else if (arg == "--replay") {
@@ -127,9 +138,11 @@ int main(int argc, char** argv) {
       for (const auto& o : hybrid::testkit::oracles()) std::printf("  %s\n", o.name);
       std::printf(
           "bugs:\n  drop-overlay-waypoint\n  inflate-overlay-distance\n"
-          "  swap-delivery-order\n  drop-label-hub\n  wrong-next-hop\n");
+          "  swap-delivery-order\n  drop-label-hub\n  wrong-next-hop\n"
+          "  drop-bbox-corner\n");
       std::printf("table modes:\n  dense\n  labels\n  auto\n");
       std::printf("routers:\n  centralized\n  stateless\n");
+      std::printf("abstractions:\n  hulls\n  bbox\n  auto\n");
       return 0;
     } else if (arg == "--verbose") {
       opts.verbose = true;
