@@ -1,0 +1,334 @@
+// E22 — sustained serving under churn: serve::RouteService vs the direct
+// router, as JSON.
+//
+// The service wraps HybridNetwork behind epoch snapshots: readers pin an
+// immutable snapshot and route against it while a single updater applies a
+// bounded batch of churn updates (node join/leave/move, obstacle edits,
+// through the seeded fault-injected update stream) and publishes the next
+// epoch with a pointer swap. This bench measures two things:
+//
+//  - the serving overhead of the snapshot indirection: service.routeBatch
+//    vs routeBatch on the pinned network directly, same pairs, same thread
+//    count (speedup_vs_direct ~ 1.0 is the machine-independent gauge the
+//    CI bench gate checks);
+//  - sustained throughput under live churn: reader threads keep routing
+//    while the updater drains a churn trace epoch by epoch, reporting
+//    q/s, epoch swap latency and the Reused/Incremental/Full rebuild mix
+//    across churn rates (informational — wall-clock q/s is machine-bound).
+//
+// Before timing, every published epoch is cross-checked against a
+// from-scratch HybridNetwork on the same topology: serial answers must be
+// bit-identical (exit 3 on mismatch) — the same contract the churn_serving
+// fuzz oracle enforces.
+//
+// Usage: e22_churn_serving [--smoke | --gate] [--metrics FILE]
+//   --smoke         tiny sweep (CI correctness check): n = 250, threads {1, 2}.
+//   --gate          mid-size sweep for the CI perf gate: n = 500, threads
+//                   {1, 2, 8}; the overhead ratios land in
+//                   bench/baselines/e22.json.
+//   --metrics FILE  record per-config gauges and write an obs snapshot
+//                   (consumed by the CI bench gate via
+//                   tools/metrics_report --check).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "scenario/churn.hpp"
+#include "serve/route_service.hpp"
+
+using namespace hybrid;
+
+namespace {
+
+double seconds(const std::chrono::steady_clock::time_point a,
+               const std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+constexpr int kRepeats = 3;  ///< Best-of-3: robust against machine noise.
+
+template <typename Fn>
+double bestSeconds(Fn&& run) {
+  run();  // warm-up (allocator, caches, workspaces)
+  double best = 0.0;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = seconds(t0, t1);
+    if (best == 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+serve::ServiceOptions serviceOptions(unsigned seed) {
+  serve::ServiceOptions opts;
+  opts.updateFaults.seed = seed;
+  opts.updateFaults.adHocDrop = 0.1;
+  opts.updateFaults.adHocDuplicate = 0.1;
+  opts.updateFaults.adHocDelay = 0.1;
+  return opts;
+}
+
+scenario::ChurnParams churnParams(unsigned seed, int epochs, int updatesPerEpoch) {
+  scenario::ChurnParams churn;
+  churn.seed = seed;
+  churn.epochs = epochs;
+  churn.updatesPerEpoch = updatesPerEpoch;
+  return churn;
+}
+
+std::vector<routing::RoutePair> pairsFor(std::size_t n, std::size_t want) {
+  std::vector<routing::RoutePair> pairs;
+  if (n < 2) return pairs;
+  std::mt19937 rng(static_cast<unsigned>(7919 + n));
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(n) - 1);
+  while (pairs.size() < want) {
+    const int s = pick(rng);
+    const int t = pick(rng);
+    if (s != t) pairs.push_back({s, t});
+  }
+  return pairs;
+}
+
+/// Every epoch of a short churn run must serve answers bit-identical to a
+/// from-scratch build — the acceptance check, never the timed region.
+/// Returns false (after printing why) on the first divergence.
+bool acceptanceCheck(const scenario::Scenario& sc, std::size_t n) {
+  serve::RouteService service(sc, serviceOptions(1000 + static_cast<unsigned>(n)));
+  const auto trace =
+      scenario::makeChurnTrace(sc, churnParams(2000 + static_cast<unsigned>(n), 3, 8));
+  for (const auto& batch : trace) {
+    service.enqueue(batch);
+    service.applyUpdates();
+    const auto snap = service.snapshot();
+    const core::HybridNetwork fresh(snap->scenario.points, service.options().ldel,
+                                    service.options().router, nullptr);
+    const auto pairs = pairsFor(snap->scenario.points.size(), 64);
+    const auto served = service.routeBatch(pairs, 2);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto want = fresh.route(pairs[i].source, pairs[i].target);
+      if (served[i].path != want.path || served[i].delivered != want.delivered) {
+        std::fprintf(stderr, "e22_churn_serving: epoch %llu (%s build) diverges from a "
+                             "fresh build at n=%zu pair=%zu (%d->%d)\n",
+                     static_cast<unsigned long long>(snap->epoch),
+                     serve::epochBuildName(snap->build), n, i, pairs[i].source,
+                     pairs[i].target);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool gate = false;
+  std::string metricsPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metricsPath = argv[++i];
+    }
+  }
+  if (gate) smoke = false;
+  if (!metricsPath.empty()) {
+    if (!obs::kCompiledIn) {
+      std::fprintf(stderr, "e22_churn_serving: --metrics requested but observability "
+                           "was compiled out (HYBRID_OBS_DISABLED)\n");
+      return 2;
+    }
+    obs::setEnabled(true);
+  }
+
+  const std::vector<std::size_t> sizes =
+      smoke  ? std::vector<std::size_t>{250}
+      : gate ? std::vector<std::size_t>{500}
+             : std::vector<std::size_t>{500, 1000, 2000};
+  const std::vector<int> threadCounts = smoke  ? std::vector<int>{1, 2}
+                                        : gate ? std::vector<int>{1, 2, 8}
+                                               : std::vector<int>{1, 2, 4, 8};
+  // Updates per epoch: the churn-rate sweep of the sustained-serving run.
+  const std::vector<int> churnRates = smoke  ? std::vector<int>{4}
+                                      : gate ? std::vector<int>{8}
+                                             : std::vector<int>{2, 8, 32};
+  const int churnEpochs = smoke ? 3 : gate ? 4 : 6;
+  const std::size_t overheadQueries = smoke ? 150 : gate ? 400 : 800;
+
+  std::printf("{\n");
+  std::printf("  \"experiment\": \"e22_churn_serving\",\n");
+  std::printf("  \"workload\": \"epoch-snapshot serving loop over convex-holes deployments: "
+              "reader threads route against pinned snapshots while the updater applies a "
+              "seeded fault-injected churn trace and republishes epochs\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"configs\": [\n");
+  bool firstCfg = true;
+  for (const std::size_t n : sizes) {
+    const auto sc = bench::convexHolesScenario(n, 42 + static_cast<unsigned>(n));
+    if (!acceptanceCheck(sc, n)) return 3;
+
+    if (!firstCfg) std::printf(",\n");
+    firstCfg = false;
+    std::printf("    {\"n\": %zu,\n", sc.points.size());
+
+    // --- Serving overhead: service.routeBatch (pin + route) vs routing on
+    // the pinned network directly. The ratio is machine-independent; its
+    // speedup_vs_direct gauges are what the CI bench gate checks.
+    serve::RouteService service(sc, serviceOptions(10 + static_cast<unsigned>(n)));
+    const auto snap = service.snapshot();
+    const auto pairs = pairsFor(snap->scenario.points.size(), overheadQueries);
+    volatile double sink = 0.0;
+    std::printf("     \"servingOverhead\": [\n");
+    bool firstT = true;
+    for (const int t : threadCounts) {
+      // Interleave the two sides repeat by repeat: both ride out the same
+      // machine-load drift, so their ratio stays stable even when the
+      // absolute q/s does not.
+      const auto runDirect = [&] {
+        const auto results = snap->net->routeBatch(pairs, t);
+        sink = static_cast<double>(results.size());
+      };
+      const auto runService = [&] {
+        const auto results = service.routeBatch(pairs, t);
+        sink = static_cast<double>(results.size());
+      };
+      runDirect();
+      runService();
+      double direct = 0.0;
+      double viaService = 0.0;
+      for (int r = 0; r < 2 * kRepeats; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        runDirect();
+        auto t1 = std::chrono::steady_clock::now();
+        runService();
+        auto t2 = std::chrono::steady_clock::now();
+        const double d = seconds(t0, t1);
+        const double s = seconds(t1, t2);
+        if (direct == 0.0 || d < direct) direct = d;
+        if (viaService == 0.0 || s < viaService) viaService = s;
+      }
+      const double directQps = direct > 0.0 ? static_cast<double>(pairs.size()) / direct : 0.0;
+      const double serviceQps =
+          viaService > 0.0 ? static_cast<double>(pairs.size()) / viaService : 0.0;
+      const double speedup = directQps > 0.0 ? serviceQps / directQps : 0.0;
+      if (!firstT) std::printf(",\n");
+      firstT = false;
+      std::printf("       {\"threads\": %d, \"directQps\": %.0f, \"serviceQps\": %.0f, "
+                  "\"speedupVsDirect\": %.3f}",
+                  t, directQps, serviceQps, speedup);
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        const std::string key = ".n" + std::to_string(n) + ".t" + std::to_string(t);
+        auto& reg = obs::Registry::global();
+        reg.gauge("bench.e22.serve.queries_per_s" + key).set(serviceQps);
+        reg.gauge("bench.e22.direct.queries_per_s" + key).set(directQps);
+        // ~1.0 at any thread count: the epoch pin is one mutex-guarded
+        // shared_ptr copy per batch. Machine-independent, so gated.
+        reg.gauge("bench.e22.serve.speedup_vs_direct" + key).set(speedup);
+      });
+    }
+    std::printf("\n     ],\n");
+
+    // --- Sustained serving under churn: readers route continuously while
+    // the updater drains a churn trace. Wall-clock q/s is machine-bound —
+    // informational gauges only (never gated).
+    std::printf("     \"churn\": [\n");
+    bool firstRate = true;
+    for (const int rate : churnRates) {
+      serve::RouteService churned(sc, serviceOptions(10 + static_cast<unsigned>(n)));
+      const auto trace = scenario::makeChurnTrace(
+          sc, churnParams(77 + static_cast<unsigned>(n), churnEpochs, rate));
+
+      std::atomic<bool> stop{false};
+      std::atomic<long> servedQueries{0};
+      std::vector<std::thread> readers;
+      for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&churned, &stop, &servedQueries] {
+          while (!stop.load(std::memory_order_relaxed)) {
+            const auto pin = churned.snapshot();
+            const auto qs = pairsFor(pin->scenario.points.size(), 32);
+            pin->net->routeBatch(qs, 1);
+            servedQueries.fetch_add(static_cast<long>(qs.size()),
+                                    std::memory_order_relaxed);
+          }
+        });
+      }
+      const auto c0 = std::chrono::steady_clock::now();
+      for (const auto& batch : trace) {
+        churned.enqueue(batch);
+        churned.applyUpdates();
+      }
+      while (churned.drainOnce()) {
+      }
+      const auto c1 = std::chrono::steady_clock::now();
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& r : readers) r.join();
+
+      const double elapsed = seconds(c0, c1);
+      const double qps =
+          elapsed > 0.0 ? static_cast<double>(servedQueries.load()) / elapsed : 0.0;
+      double swapMsSum = 0.0;
+      double swapMsMax = 0.0;
+      for (const auto& e : churned.history()) {
+        swapMsSum += e.swapMs;
+        if (e.swapMs > swapMsMax) swapMsMax = e.swapMs;
+      }
+      const double swapMsMean =
+          churned.history().empty() ? 0.0 : swapMsSum / churned.history().size();
+      const auto& stream = churned.streamStats();
+      if (!firstRate) std::printf(",\n");
+      firstRate = false;
+      std::printf("       {\"updatesPerEpoch\": %d, \"epochs\": %zu, "
+                  "\"readerQps\": %.0f, \"swapMsMean\": %.2f, \"swapMsMax\": %.2f,\n",
+                  rate, churned.history().size(), qps, swapMsMean, swapMsMax);
+      std::printf("        \"rebuilds\": {\"reused\": %llu, \"incremental\": %llu, "
+                  "\"full\": %llu},\n",
+                  static_cast<unsigned long long>(churned.reusedEpochs()),
+                  static_cast<unsigned long long>(churned.incrementalRebuilds()),
+                  static_cast<unsigned long long>(churned.fullRebuilds()));
+      std::printf("        \"stream\": {\"offered\": %llu, \"delivered\": %llu, "
+                  "\"dropped\": %llu, \"duplicated\": %llu, \"delayed\": %llu}}",
+                  static_cast<unsigned long long>(stream.offered),
+                  static_cast<unsigned long long>(stream.delivered),
+                  static_cast<unsigned long long>(stream.dropped),
+                  static_cast<unsigned long long>(stream.duplicated),
+                  static_cast<unsigned long long>(stream.delayed));
+      HYBRID_OBS_STMT(if (obs::enabled()) {
+        const std::string key =
+            ".n" + std::to_string(n) + ".u" + std::to_string(rate);
+        auto& reg = obs::Registry::global();
+        reg.gauge("serve.qps").set(qps);
+        reg.gauge("bench.e22.churn.reader_qps" + key).set(qps);
+        reg.gauge("bench.e22.churn.swap_ms_mean" + key).set(swapMsMean);
+        reg.gauge("bench.e22.churn.rebuilds_full" + key)
+            .set(static_cast<double>(churned.fullRebuilds()));
+        reg.gauge("bench.e22.churn.rebuilds_incremental" + key)
+            .set(static_cast<double>(churned.incrementalRebuilds()));
+      });
+    }
+    std::printf("\n     ]}");
+  }
+  std::printf("\n  ]\n}\n");
+
+  if (!metricsPath.empty()) {
+    if (!obs::saveSnapshot(metricsPath, obs::capture())) {
+      std::fprintf(stderr, "e22_churn_serving: cannot write metrics snapshot %s\n",
+                   metricsPath.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}

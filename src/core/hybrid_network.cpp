@@ -15,13 +15,19 @@ HybridNetwork::HybridNetwork(std::vector<geom::Vec2> points, double radius)
 
 HybridNetwork::HybridNetwork(std::vector<geom::Vec2> points,
                              const delaunay::LDelOptions& options)
+    : HybridNetwork(std::move(points), options, routing::HybridOptions{}, nullptr) {}
+
+HybridNetwork::HybridNetwork(std::vector<geom::Vec2> points,
+                             const delaunay::LDelOptions& options,
+                             routing::HybridOptions routerOptions,
+                             const routing::HybridRouter* overlayDonor)
     : radius_(options.radius) {
   ldel_ = delaunay::buildLocalizedDelaunay(points, options);
   holes_ = holes::detectHoles(ldel_.graph, radius_);
   abstractions_ = abstraction::buildAbstractions(ldel_.graph, holes_, radius_);
   subdivision_ = std::make_unique<routing::PlanarSubdivision>(ldel_.graph, holes_, radius_);
   router_ = std::make_unique<routing::HybridRouter>(ldel_.graph, holes_, abstractions_,
-                                                    *subdivision_);
+                                                    *subdivision_, routerOptions, overlayDonor);
 }
 
 std::unique_ptr<routing::HybridRouter> HybridNetwork::makeRouter(

@@ -24,6 +24,14 @@ class HybridNetwork {
   explicit HybridNetwork(std::vector<geom::Vec2> points, double radius = 1.0);
   /// Full-control constructor (custom k, QUDG radio model, ...).
   HybridNetwork(std::vector<geom::Vec2> points, const delaunay::LDelOptions& options);
+  /// Epoch-snapshot constructor (serve::RouteService): builds the default
+  /// router with `routerOptions`, and when `overlayDonor` (a previous
+  /// epoch's router) has a byte-identical overlay plan, adopts its overlay
+  /// slab instead of rebuilding the site-pair table — the incremental
+  /// repair path. The donor is only read during construction.
+  HybridNetwork(std::vector<geom::Vec2> points, const delaunay::LDelOptions& options,
+                routing::HybridOptions routerOptions,
+                const routing::HybridRouter* overlayDonor);
 
   const graph::GeometricGraph& udg() const { return ldel_.udg; }
   const graph::GeometricGraph& ldel() const { return ldel_.graph; }
@@ -37,6 +45,7 @@ class HybridNetwork {
 
   /// The paper's §4 router (convex hulls + overlay Delaunay by default).
   routing::HybridRouter& router() { return *router_; }
+  const routing::HybridRouter& router() const { return *router_; }
   /// Builds a router with non-default abstraction/overlay choices.
   std::unique_ptr<routing::HybridRouter> makeRouter(routing::HybridOptions options) const;
 

@@ -28,21 +28,20 @@ int indexIn(const std::vector<graph::NodeId>& ring, graph::NodeId v) {
 
 }  // namespace
 
-HybridRouter::HybridRouter(const graph::GeometricGraph& ldel,
-                           const holes::HoleAnalysis& analysis,
-                           const std::vector<abstraction::HoleAbstraction>& abstractions,
-                           const PlanarSubdivision& sub, HybridOptions options)
-    : g_(ldel),
-      analysis_(analysis),
-      abstractions_(abstractions),
-      chew_(ldel, sub),
-      opt_(options) {
+OverlayPlan HybridRouter::planOverlay(
+    const graph::GeometricGraph& ldel, const holes::HoleAnalysis& analysis,
+    const std::vector<abstraction::HoleAbstraction>& abstractions,
+    const HybridOptions& options) {
+  OverlayPlan plan;
+  plan.sites = options.sites;
+  plan.edges = options.edges;
+  plan.table = options.table;
   // Resolve the abstraction mode: Auto keeps the paper's convex hulls
   // while they are pairwise disjoint and switches to the bounding-box
   // overlay (which merges boxes to disjointness) when hulls interlock —
   // the scenarios the hull router can only serve via A* fallback.
-  bool wantBBox = opt_.abstraction == AbstractionMode::BBox;
-  if (opt_.abstraction == AbstractionMode::Auto && !wantBBox) {
+  bool wantBBox = options.abstraction == AbstractionMode::BBox;
+  if (options.abstraction == AbstractionMode::Auto && !wantBBox) {
     const auto groups = abstraction::mergeIntersectingHulls(ldel, abstractions);
     for (const auto& g : groups) {
       if (g.members.size() > 1) {
@@ -52,30 +51,75 @@ HybridRouter::HybridRouter(const graph::GeometricGraph& ldel,
     }
   }
   if (wantBBox) {
-    usesBBox_ = true;
+    plan.bbox = true;
     const auto groups = abstraction::buildBBoxOverlay(ldel, analysis, abstractions);
-    std::vector<std::vector<graph::NodeId>> siteRings;
     for (const auto& grp : groups) {
       for (const auto& hs : grp.holeSites) {
-        if (!hs.sites.empty()) siteRings.push_back(hs.sites);
+        if (!hs.sites.empty()) plan.rings.push_back(hs.sites);
       }
     }
+  } else if (options.mergeIntersectingHulls && options.sites == SiteMode::HullNodes) {
+    plan.merged = true;
+    const auto groups = abstraction::mergeIntersectingHulls(ldel, abstractions);
+    plan.rings.reserve(groups.size());
+    for (const auto& g : groups) plan.rings.push_back(g.hullNodes);
+  } else if (options.sites != SiteMode::AllHoleNodes) {
+    for (const auto& a : abstractions) {
+      switch (options.sites) {
+        case SiteMode::LocallyConvexHull:
+          plan.rings.push_back(a.locallyConvexHull);
+          break;
+        case SiteMode::SimplifiedBoundary:
+          plan.rings.push_back(a.simplifiedBoundary);
+          break;
+        default:
+          plan.rings.push_back(a.hullNodes);
+          break;
+      }
+    }
+  } else {
+    for (const auto& h : analysis.holes) plan.rings.push_back(h.ring);
+  }
+  for (const auto& ring : plan.rings) {
+    for (const graph::NodeId v : ring) plan.ringPositions.push_back(ldel.position(v));
+  }
+  for (const auto& poly : analysis.holePolygons()) plan.holePolygons.push_back(poly.vertices());
+  return plan;
+}
+
+HybridRouter::HybridRouter(const graph::GeometricGraph& ldel,
+                           const holes::HoleAnalysis& analysis,
+                           const std::vector<abstraction::HoleAbstraction>& abstractions,
+                           const PlanarSubdivision& sub, HybridOptions options,
+                           const HybridRouter* overlayDonor)
+    : g_(ldel),
+      analysis_(analysis),
+      abstractions_(abstractions),
+      chew_(ldel, sub),
+      overlayPlan_(planOverlay(ldel, analysis, abstractions, options)),
+      opt_(options) {
+  usesBBox_ = overlayPlan_.bbox;
+  if (overlayDonor != nullptr && overlayDonor->overlay_ != nullptr &&
+      overlayDonor->overlayPlan_ == overlayPlan_) {
+    // Epoch-snapshot fast path: the donor's overlay was built from inputs
+    // byte-identical to this plan, and overlay builds are deterministic,
+    // so a fresh build would reproduce it bit for bit — adopt the slab.
+    overlay_ = overlayDonor->overlay_;
+    adoptedOverlay_ = true;
+  } else if (overlayPlan_.bbox) {
     // Bbox sites are a sparse subset of each hole ring; consecutive sites
     // are reachable along the ring even when the straight chord crosses
     // the hole, so the backbone is declared ring-walkable.
-    overlay_ = std::make_unique<OverlayGraph>(ldel, siteRings, analysis.holePolygons(),
-                                              opt_.edges, opt_.table,
-                                              /*ringBackbone=*/true);
-  } else if (opt_.mergeIntersectingHulls && opt_.sites == SiteMode::HullNodes) {
-    const auto groups = abstraction::mergeIntersectingHulls(ldel, abstractions);
-    std::vector<std::vector<graph::NodeId>> siteRings;
-    siteRings.reserve(groups.size());
-    for (const auto& g : groups) siteRings.push_back(g.hullNodes);
-    overlay_ = std::make_unique<OverlayGraph>(ldel, siteRings, analysis.holePolygons(),
-                                              opt_.edges, opt_.table);
+    overlay_ =
+        std::make_shared<const OverlayGraph>(ldel, overlayPlan_.rings, analysis.holePolygons(),
+                                             opt_.edges, opt_.table, /*ringBackbone=*/true);
+  } else if (overlayPlan_.merged) {
+    overlay_ = std::make_shared<const OverlayGraph>(ldel, overlayPlan_.rings,
+                                                    analysis.holePolygons(), opt_.edges,
+                                                    opt_.table);
   } else {
-    overlay_ = std::make_unique<OverlayGraph>(ldel, analysis, abstractions, opt_.sites,
-                                              opt_.edges, opt_.table);
+    overlay_ = std::make_shared<const OverlayGraph>(ldel, analysis, abstractions, opt_.sites,
+                                                    opt_.edges, opt_.table);
   }
 
   isHullNode_.assign(g_.numNodes(), 0);

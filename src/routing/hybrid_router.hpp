@@ -36,6 +36,28 @@ struct HybridOptions {
   AbstractionMode abstraction = AbstractionMode::Hulls;
 };
 
+/// Everything an overlay build consumes, captured so serving epochs can
+/// share slabs: two routers whose plans compare equal would build
+/// byte-identical overlays (the build is deterministic at any thread
+/// count), so the newer router may adopt the older one's overlay — site
+/// graph, dense site-pair table or hub-label slab included — instead of
+/// rebuilding it. Site rings are kept in build order because the backbone
+/// edge set depends on ring traversal order, and ring node *positions* are
+/// captured separately because site ids alone do not pin the geometry when
+/// interior nodes churn between epochs.
+struct OverlayPlan {
+  bool bbox = false;    ///< Custom-ring build with ring-walkable backbone.
+  bool merged = false;  ///< Custom-ring build from merged hull groups.
+  SiteMode sites = SiteMode::HullNodes;
+  EdgeMode edges = EdgeMode::Delaunay;
+  TableMode table = TableMode::Auto;
+  std::vector<std::vector<graph::NodeId>> rings;      ///< Site rings, build order.
+  std::vector<geom::Vec2> ringPositions;              ///< Flattened ring positions.
+  std::vector<std::vector<geom::Vec2>> holePolygons;  ///< Visibility obstacles.
+
+  bool operator==(const OverlayPlan&) const = default;
+};
+
 /// The paper's routing protocol: Chew-style corridor routing toward the
 /// target; on hitting a radio hole, hand off to the hole-abstraction
 /// overlay (visibility graph or overlay Delaunay graph of the abstraction
@@ -48,14 +70,36 @@ struct HybridOptions {
 /// RouteResult::fallbacks so experiments can report protocol coverage.
 class HybridRouter : public Router {
  public:
+  /// `overlayDonor` (optional) is a router from a previous serving epoch:
+  /// when its OverlayPlan compares equal to this build's plan, the donor's
+  /// overlay slab is adopted (shared, immutable) instead of being rebuilt
+  /// — the epoch-snapshot fast path of serve::RouteService. The donor is
+  /// only read during construction and need not outlive the router.
   HybridRouter(const graph::GeometricGraph& ldel, const holes::HoleAnalysis& analysis,
                const std::vector<abstraction::HoleAbstraction>& abstractions,
-               const PlanarSubdivision& sub, HybridOptions options = {});
+               const PlanarSubdivision& sub, HybridOptions options = {},
+               const HybridRouter* overlayDonor = nullptr);
 
   RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override;
 
   const OverlayGraph& overlay() const { return *overlay_; }
+  /// Shared ownership of the overlay slab, for snapshot plumbing: a later
+  /// epoch's router (or a retiring snapshot's reader) keeps the slab alive
+  /// for exactly as long as it is referenced.
+  std::shared_ptr<const OverlayGraph> overlayPtr() const { return overlay_; }
+  /// The captured overlay build inputs (see OverlayPlan).
+  const OverlayPlan& overlayPlan() const { return overlayPlan_; }
+  /// True when this router adopted its donor's overlay instead of building.
+  bool adoptedDonorOverlay() const { return adoptedOverlay_; }
+
+  /// Computes the overlay build inputs for (ldel, analysis, abstractions,
+  /// options) without building anything expensive; the constructor uses
+  /// the same function, so plan equality implies build equality.
+  static OverlayPlan planOverlay(const graph::GeometricGraph& ldel,
+                                 const holes::HoleAnalysis& analysis,
+                                 const std::vector<abstraction::HoleAbstraction>& abstractions,
+                                 const HybridOptions& options);
   /// True when the overlay was built from bounding-box sites (explicit
   /// BBox mode, or Auto that detected intersecting hulls).
   bool usesBBox() const { return usesBBox_; }
@@ -103,7 +147,9 @@ class HybridRouter : public Router {
   const holes::HoleAnalysis& analysis_;
   const std::vector<abstraction::HoleAbstraction>& abstractions_;
   ChewRouter chew_;
-  std::unique_ptr<OverlayGraph> overlay_;
+  std::shared_ptr<const OverlayGraph> overlay_;
+  OverlayPlan overlayPlan_;
+  bool adoptedOverlay_ = false;
   HybridOptions opt_;
 
   std::vector<std::vector<graph::NodeId>> bayDS_;

@@ -35,24 +35,30 @@ StatelessRouter::StatelessRouter(const graph::GeometricGraph& g, unsigned thread
   const graph::CsrAdjacency csr = graph::buildCsr(g);
   HubLabelOracle oracle;
   oracle.build(csr, threads);
-  labels_.build(oracle);
+  auto built = std::make_shared<NodeLabels>();
+  built->build(oracle);
+  labels_ = std::move(built);
   HYBRID_OBS_STMT(if (obs::enabled()) {
     const auto ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
             .count();
     auto& reg = obs::Registry::global();
-    reg.gauge("fwd.labels.bytes").set(static_cast<double>(labels_.labelBytes()));
-    reg.gauge("fwd.labels.bytes_per_node").set(labels_.bytesPerNode());
-    reg.gauge("fwd.labels.max_label").set(static_cast<double>(labels_.maxLabelSize()));
+    reg.gauge("fwd.labels.bytes").set(static_cast<double>(labels_->labelBytes()));
+    reg.gauge("fwd.labels.bytes_per_node").set(labels_->bytesPerNode());
+    reg.gauge("fwd.labels.max_label").set(static_cast<double>(labels_->maxLabelSize()));
     reg.gauge("fwd.labels.build_ms").set(ms);
   });
 }
 
-StatelessRouter::StatelessRouter(NodeLabels labels) : labels_(std::move(labels)) {}
+StatelessRouter::StatelessRouter(NodeLabels labels)
+    : labels_(std::make_shared<NodeLabels>(std::move(labels))) {}
+
+StatelessRouter::StatelessRouter(std::shared_ptr<const NodeLabels> labels)
+    : labels_(std::move(labels)) {}
 
 RouteResult StatelessRouter::route(graph::NodeId source, graph::NodeId target) const {
   RouteResult r;
-  const int n = static_cast<int>(labels_.numNodes());
+  const int n = static_cast<int>(labels_->numNodes());
   if (source < 0 || source >= n || target < 0 || target >= n) return r;
   r.path.push_back(source);
   if (source == target) {
@@ -70,11 +76,11 @@ RouteResult StatelessRouter::route(graph::NodeId source, graph::NodeId target) c
   // Strictly decreasing merged distance bounds the walk by the node count;
   // the slack absorbs the final hop and makes the guard a clean-failure
   // path for corrupt labels (loops, dead next hops), never a hot one.
-  std::size_t guard = labels_.numNodes() + 2;
+  std::size_t guard = labels_->numNodes() + 2;
   int v = source;
   while (v != target) {
-    const NodeLabels::Hop hop = labels_.nextHop(v, target);
-    HYBRID_OBS_STMT(mergeLen += labels_.view(v).size() + labels_.view(target).size());
+    const NodeLabels::Hop hop = labels_->nextHop(v, target);
+    HYBRID_OBS_STMT(mergeLen += labels_->view(v).size() + labels_->view(target).size());
     if (!hop.ok() || hop.next >= n || --guard == 0) {
       HYBRID_OBS_STMT(if (obs::enabled()) {
         auto& m = FwdMetrics::get();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "graph/csr.hpp"
@@ -35,15 +36,24 @@ class StatelessRouter : public Router {
   /// protocol) without rebuilding anything.
   explicit StatelessRouter(NodeLabels labels);
 
+  /// Adopts a shared immutable label slab without copying it: the
+  /// snapshot-ownership path, where several serving epochs (or replicas)
+  /// serve from one slab and the last owner retires it.
+  explicit StatelessRouter(std::shared_ptr<const NodeLabels> labels);
+
   RouteResult route(graph::NodeId source, graph::NodeId target) const override;
   std::string name() const override { return "stateless-labels"; }
 
-  const NodeLabels& labels() const { return labels_; }
-  /// Test hook for injected-bug corruption (see NodeLabels).
-  NodeLabels& mutableLabelsForTest() { return labels_; }
+  const NodeLabels& labels() const { return *labels_; }
+  /// Shared ownership of the slab, for snapshot plumbing.
+  std::shared_ptr<const NodeLabels> labelsPtr() const { return labels_; }
+  /// Test hook for injected-bug corruption (see NodeLabels). Only valid on
+  /// routers that built (or were moved) their own slab; corrupting a slab
+  /// adopted from another epoch would corrupt every sharer.
+  NodeLabels& mutableLabelsForTest() { return const_cast<NodeLabels&>(*labels_); }
 
  private:
-  NodeLabels labels_;
+  std::shared_ptr<const NodeLabels> labels_;
 };
 
 }  // namespace hybrid::routing

@@ -1,0 +1,59 @@
+#include "serve/update_stream.hpp"
+
+#include <algorithm>
+
+#include "sim/message.hpp"
+
+namespace hybrid::serve {
+
+std::vector<scenario::Update> FaultyUpdateStream::filter(int epoch,
+                                                         std::vector<scenario::Update> incoming) {
+  stats_.offered += incoming.size();
+  if (!plan_.active()) {
+    stats_.delivered += incoming.size();
+    return incoming;
+  }
+
+  std::vector<scenario::Update> arrived;
+  arrived.reserve(incoming.size() + delayed_.size());
+
+  // Expired delays first, in deferral order. stable_partition keeps the
+  // not-yet-due remainder ordered too, so later epochs stay deterministic.
+  const auto due = std::stable_partition(delayed_.begin(), delayed_.end(),
+                                         [&](const Delayed& d) { return d.dueEpoch <= epoch; });
+  for (auto it = delayed_.begin(); it != due; ++it) {
+    arrived.push_back(std::move(it->update));
+    ++stats_.delivered;
+  }
+  delayed_.erase(delayed_.begin(), due);
+
+  // The fault layer keys on (round, index, link); updates are not simulator
+  // messages, so a stand-in ad hoc message carries the link tag.
+  sim::Message probe;
+  probe.link = sim::Link::AdHoc;
+  for (std::size_t i = 0; i < incoming.size(); ++i) {
+    int delayRounds = 0;
+    switch (plan_.decide(epoch, i, probe, &delayRounds)) {
+      case sim::FaultAction::Drop:
+        ++stats_.dropped;
+        break;
+      case sim::FaultAction::Duplicate:
+        arrived.push_back(incoming[i]);
+        arrived.push_back(std::move(incoming[i]));
+        stats_.delivered += 2;
+        ++stats_.duplicated;
+        break;
+      case sim::FaultAction::Delay:
+        delayed_.push_back({epoch + delayRounds, std::move(incoming[i])});
+        ++stats_.delayed;
+        break;
+      case sim::FaultAction::Deliver:
+        arrived.push_back(std::move(incoming[i]));
+        ++stats_.delivered;
+        break;
+    }
+  }
+  return arrived;
+}
+
+}  // namespace hybrid::serve

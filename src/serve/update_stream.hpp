@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/churn.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace hybrid::serve {
+
+/// Tally of what the fault filter did to the update stream so far.
+struct StreamStats {
+  std::uint64_t offered = 0;     ///< Updates pushed into the filter.
+  std::uint64_t delivered = 0;   ///< Updates handed to the service (incl. dups).
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;  ///< Extra deliveries caused by duplication.
+  std::uint64_t delayed = 0;     ///< Updates deferred to a later epoch.
+
+  bool operator==(const StreamStats&) const = default;
+};
+
+/// Deterministic fault injection for the update stream, reusing the
+/// simulator's seeded fault layer with epoch standing in for the delivery
+/// round and the update's position in its batch for the send index: the
+/// same (config.seed, epoch, index) always yields the same drop /
+/// duplicate / delay decision, so a faulty serving run is exactly
+/// reproducible. Only the ad hoc knobs of sim::FaultConfig apply
+/// (adHocDrop / adHocDuplicate / adHocDelay / maxDelayRounds); crashes and
+/// blackouts are round-scoped simulator concepts with no stream analogue.
+///
+/// A default (inactive) config passes every update through untouched.
+class FaultyUpdateStream {
+ public:
+  FaultyUpdateStream() = default;
+  explicit FaultyUpdateStream(const sim::FaultConfig& config) : plan_(config) {}
+
+  bool active() const { return plan_.active(); }
+
+  /// Filters the batch offered at `epoch`. Returns the updates that
+  /// actually arrive: first any earlier updates whose delay expires this
+  /// epoch (in the order they were deferred), then the surviving updates
+  /// of `incoming` in offer order, with duplicated updates appearing
+  /// twice back to back — mirroring the simulator's delivery order.
+  std::vector<scenario::Update> filter(int epoch, std::vector<scenario::Update> incoming);
+
+  /// Updates still in flight (delayed past the last filtered epoch).
+  std::size_t inFlight() const { return delayed_.size(); }
+
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  struct Delayed {
+    int dueEpoch = 0;
+    scenario::Update update;
+  };
+
+  sim::FaultPlan plan_;
+  std::vector<Delayed> delayed_;
+  StreamStats stats_;
+};
+
+}  // namespace hybrid::serve

@@ -1,10 +1,12 @@
 #include "testkit/oracles.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <random>
 #include <sstream>
+#include <thread>
 
 #include "abstraction/bbox_overlay.hpp"
 #include "abstraction/hull_groups.hpp"
@@ -17,6 +19,8 @@
 #include "routing/hub_labels.hpp"
 #include "routing/node_labels.hpp"
 #include "routing/stateless_router.hpp"
+#include "scenario/churn.hpp"
+#include "serve/route_service.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/simulator.hpp"
 #include "testkit/rng.hpp"
@@ -1010,6 +1014,94 @@ OracleResult checkBBoxParity(const CaseContext& ctx) {
   return {};
 }
 
+// ---------------------------------------------------------------------------
+// churn_serving
+// ---------------------------------------------------------------------------
+
+OracleResult checkChurnServing(const CaseContext& ctx) {
+  // Every epoch is cross-checked against a from-scratch build, so cap the
+  // size to keep the fuzz loop fast; tiny cases churn straight through the
+  // minNodes floor and prove nothing.
+  if (ctx.scenario().points.size() < 12 || ctx.scenario().points.size() > 250) {
+    return skipResult();
+  }
+
+  serve::ServiceOptions opts;
+  opts.router.table = ctx.tableMode();
+  opts.router.abstraction = ctx.abstractionMode();
+  opts.updateFaults.seed = deriveSeed(ctx.seed(), 0x63687266 /* "chrf" */);
+  opts.updateFaults.adHocDrop = 0.1;
+  opts.updateFaults.adHocDuplicate = 0.1;
+  opts.updateFaults.adHocDelay = 0.15;
+  serve::RouteService service(ctx.scenario(), opts);
+
+  scenario::ChurnParams churn;
+  churn.seed = deriveSeed(ctx.seed(), 0x6368726e /* "chrn" */);
+  churn.epochs = 4;
+  churn.updatesPerEpoch = 5;
+  const auto trace = scenario::makeChurnTrace(ctx.scenario(), churn);
+
+  std::mt19937_64 rng(deriveSeed(ctx.seed(), 0x73727665 /* "srve" */));
+  for (const auto& batch : trace) {
+    service.enqueue(batch);
+
+    // A reader keeps routing while the updater swaps epochs; its answers
+    // are not inspected (a query may legitimately land on either side of
+    // the swap) — the point is that publishing under load is safe and the
+    // outgoing snapshot stays valid while pinned.
+    const auto pinned = service.snapshot();
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+      const int n = static_cast<int>(pinned->scenario.points.size());
+      std::vector<routing::RoutePair> qs;
+      for (int i = 0; i + 1 < n && i < 8; i += 2) qs.push_back({i, i + 1});
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.routeBatch(qs, 2);
+      }
+    });
+    const auto stats = service.applyUpdates();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    const auto snap = service.snapshot();
+    if (snap->epoch != stats.epoch) {
+      return failResult("published epoch does not match applyUpdates stats");
+    }
+
+    // Bit-identity of the serving loop vs a from-scratch build of the same
+    // epoch: the serial route loop is the reference; the service's batch
+    // path must match it at 1, k and 2k reader threads. This is what makes
+    // Reused/Incremental epochs trustworthy — cheap builds, same answers.
+    const core::HybridNetwork fresh(snap->scenario.points, service.options().ldel,
+                                    service.options().router, nullptr);
+    const int n = static_cast<int>(snap->scenario.points.size());
+    if (n < 2) continue;
+    std::uniform_int_distribution<int> pick(0, n - 1);
+    std::vector<routing::RoutePair> pairs;
+    while (pairs.size() < 16) {
+      const int s = pick(rng);
+      const int t = pick(rng);
+      if (s != t) pairs.push_back({s, t});
+    }
+    std::vector<routing::RouteResult> reference;
+    reference.reserve(pairs.size());
+    for (const auto& p : pairs) reference.push_back(fresh.route(p.source, p.target));
+    for (const int threads : {1, ctx.threads(), ctx.threads() * 2}) {
+      const auto served = service.routeBatch(pairs, threads);
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (!sameRoute(served[i], reference[i])) {
+          std::ostringstream os;
+          os << "epoch " << snap->epoch << " (" << serve::epochBuildName(snap->build)
+             << " build, " << threads << " threads) diverges from a fresh build at pair "
+             << i << " (" << pairs[i].source << "->" << pairs[i].target << ")";
+          return failResult(os.str());
+        }
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* bugName(InjectedBug bug) {
@@ -1088,6 +1180,7 @@ const std::vector<Oracle>& oracles() {
       {"label_parity", checkLabelParity},
       {"stateless_parity", checkStatelessParity},
       {"bbox_parity", checkBBoxParity},
+      {"churn_serving", checkChurnServing},
   };
   return kOracles;
 }

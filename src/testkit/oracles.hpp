@@ -135,6 +135,11 @@ struct Oracle {
 ///                       the scaled competitive bound on intersecting-hull
 ///                       cases competitive_bound skips, and routeBatch
 ///                       bit-identical serial vs threaded
+///  - churn_serving:     serve::RouteService under a seeded fault-injected
+///                       churn trace with a concurrent reader: every
+///                       published epoch (Reused, Incremental or Full)
+///                       serves answers bit-identical to a from-scratch
+///                       build of that epoch's topology at 1/k/2k threads
 const std::vector<Oracle>& oracles();
 
 /// nullptr when unknown.

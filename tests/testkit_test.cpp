@@ -153,7 +153,7 @@ TEST(Testkit, ShrinkerFindsSmallFailingScenario) {
 }
 
 TEST(Testkit, OracleRegistryAndBugNamesRoundTrip) {
-  EXPECT_EQ(oracles().size(), 11u);
+  EXPECT_EQ(oracles().size(), 12u);
   for (const auto& o : oracles()) EXPECT_EQ(findOracle(o.name), &o);
   EXPECT_EQ(findOracle("nope"), nullptr);
   for (const InjectedBug b :
